@@ -1,0 +1,64 @@
+"""E8 (Section 4): minor-aggregation on the dual — measured PA cost on
+Ĝ (the conversion rate of Theorem 4.10), orientation/deactivation
+(Lemma 4.15), and Boruvka MST as the canonical MA workload."""
+
+import pytest
+
+from repro.aggregation import DualMAHost, boruvka_mst, \
+    deactivate_parallel_edges
+from repro.congest import RoundLedger
+from repro.planar.generators import grid, random_planar, randomize_weights
+from repro.shortcuts.partwise import DualPartwiseHost
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_pa_cost_on_dual(benchmark, k):
+    """The Õ(D) PA cost on G* via Ĝ (Lemma 4.9)."""
+    g = grid(4 + 2 * k, 4 + 2 * k)
+
+    def run():
+        return DualPartwiseHost(g)
+
+    host = benchmark.pedantic(run, rounds=1, iterations=1)
+    d = g.diameter()
+    benchmark.extra_info.update({
+        "n": g.n, "D": d,
+        "pa_rounds": host.pa_rounds,
+        "pa_rounds_per_D": round(host.pa_rounds / d, 2),
+    })
+
+
+def test_dual_mst_workload(benchmark):
+    """Boruvka MST of G* through the host: Õ(1) MA rounds -> Õ(D)
+    CONGEST rounds (Theorem 4.10)."""
+    g = randomize_weights(random_planar(60, seed=6), seed=6)
+    led = RoundLedger()
+    host = DualMAHost(g, ledger=led)
+
+    def run():
+        ma = host.ma_graph()
+        tree = boruvka_mst(ma)
+        host.charge(ma, "bench-mst")
+        return tree
+
+    tree = benchmark(run)
+    assert len(tree) == g.num_faces() - 1
+    benchmark.extra_info.update({
+        "n": g.n, "D": g.diameter(),
+        "dual_nodes": g.num_faces(),
+        "pa_rounds": host.pa_rounds,
+    })
+
+
+def test_parallel_edge_deactivation(benchmark):
+    """Lemma 4.15 on a dual with many parallel edges (grid boundary)."""
+    g = randomize_weights(grid(2, 12), seed=8)
+    host = DualMAHost(g)
+
+    def run():
+        ma = host.ma_graph()
+        return deactivate_parallel_edges(ma, lambda a, b: a + b)
+
+    rep = benchmark(run)
+    assert rep  # at least one bundle collapsed
+    benchmark.extra_info.update({"n": g.n, "bundles": len(rep)})

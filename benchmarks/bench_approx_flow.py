@@ -1,0 +1,50 @@
+"""E7 (Theorems 1.3 / 6.2): approximate st-planar flow — value within
+(1−ε), assignment feasible, cut valid; ε sweep shows the accuracy/round
+trade-off of the n^{o(1)}/ε² oracle budget."""
+
+import pytest
+
+from repro.congest import RoundLedger
+from repro.core import approx_max_st_flow, flow_value_networkx, \
+    validate_flow, verify_st_cut
+from repro.planar.generators import grid, randomize_weights
+
+
+@pytest.mark.parametrize("eps", [0.4, 0.2, 0.1])
+def test_approx_flow_eps_sweep(benchmark, eps):
+    g = randomize_weights(grid(5, 7), seed=3)
+    s, t = 0, g.n - 1
+    ref = flow_value_networkx(g, s, t, directed=False)
+    led = RoundLedger()
+
+    def run():
+        return approx_max_st_flow(g, s, t, eps=eps, seed=5, ledger=led)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    validate_flow(g, s, t, res.flow, res.value, directed=False)
+    assert verify_st_cut(g, s, t, res.cut_edge_ids, directed=False)
+    assert (1 - 2 * eps) * ref <= res.value <= ref + 1e-9
+    benchmark.extra_info.update({
+        "n": g.n, "D": g.diameter(), "eps": eps,
+        "value_ratio": round(res.value / ref, 3),
+        "cut_ratio": round(res.cut_capacity / ref, 3),
+        "ma_rounds": res.ma_rounds,
+        "congest_rounds": led.total(),
+    })
+
+
+@pytest.mark.parametrize("k", [0, 1])
+def test_approx_flow_size_sweep(benchmark, k):
+    g = randomize_weights(grid(4 + 2 * k, 6 + 2 * k), seed=k)
+    s, t = 0, g.n - 1
+    ref = flow_value_networkx(g, s, t, directed=False)
+
+    def run():
+        return approx_max_st_flow(g, s, t, eps=0.25, seed=k)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.value <= ref + 1e-9
+    benchmark.extra_info.update({
+        "n": g.n, "D": g.diameter(),
+        "value_ratio": round(res.value / ref, 3),
+    })

@@ -1,0 +1,57 @@
+"""E9 (Section 5.1): BDD shape certification — depth O(log n), |S_X|
+and bag diameters Õ(D), face-parts O(log n) — across diameter regimes
+from wheels (D=2) to ladders (D=n/2)."""
+
+import pytest
+
+from repro.bdd import build_bdd, validate_bdd
+from repro.planar.generators import (
+    grid,
+    ladder,
+    random_planar,
+    triangulated_disk,
+    wheel,
+)
+
+
+@pytest.mark.parametrize("name,maker", [
+    ("wheel-D2", lambda: wheel(40)),
+    ("grid", lambda: grid(7, 7)),
+    ("ladder-maxD", lambda: ladder(24)),
+    ("disk", lambda: triangulated_disk(4)),
+    ("delaunay", lambda: random_planar(80, seed=9)),
+])
+def test_bdd_shape(benchmark, name, maker):
+    g = maker()
+
+    def run():
+        bdd = build_bdd(g, leaf_size=max(12, g.diameter()))
+        return bdd, validate_bdd(bdd)
+
+    bdd, rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    d = g.diameter()
+    benchmark.extra_info.update({
+        "n": g.n, "D": d,
+        "depth": rep.depth, "bags": rep.num_bags,
+        "max_sep": rep.max_separator,
+        "sep_per_D": round(rep.max_separator / max(d, 1), 2),
+        "max_face_parts": rep.max_face_parts,
+        "max_F_X": rep.max_f_x,
+    })
+
+
+@pytest.mark.parametrize("leaf", [8, 16, 48])
+def test_bdd_leaf_size_ablation(benchmark, leaf):
+    """Ablation: smaller leaves -> deeper trees, larger labels; the
+    leaf-size knob trades recursion depth against leaf broadcasts."""
+    g = grid(6, 6)
+
+    def run():
+        return build_bdd(g, leaf_size=leaf)
+
+    bdd = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "leaf_size": leaf,
+        "depth": bdd.depth,
+        "bags": len(bdd.bags),
+    })

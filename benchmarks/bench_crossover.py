@@ -1,0 +1,41 @@
+"""E10 (Section 1 comparison table): round-model crossover — for which
+diameters does the paper's Õ(D²) beat the D·n^{1/2+o(1)} of de Vos [4]?
+Plus an executable data point: the naive distributed Bellman-Ford dual
+SSSP vs our measured labeling rounds on the same instance."""
+
+import pytest
+
+from repro.analysis.experiments import experiment_crossover
+from repro.baselines.distributed_naive import naive_dual_sssp_rounds
+from repro.bdd import build_bdd
+from repro.congest import RoundLedger
+from repro.labeling import DualDistanceLabeling
+from repro.planar.generators import grid, randomize_weights
+
+
+def test_crossover_table(benchmark):
+    rows = benchmark.pedantic(experiment_crossover, rounds=1, iterations=1)
+    assert rows[0]["beats_deVos"] == "yes"      # low-D regime: we win
+    assert rows[-1]["beats_deVos"] == "no"      # near-linear D: [4] wins
+    benchmark.extra_info["crossover_D"] = next(
+        r["D"] for r in rows if r["beats_deVos"] == "no")
+
+
+@pytest.mark.parametrize("cols", [6, 12])
+def test_measured_vs_naive_sssp(benchmark, cols):
+    """Executable comparison on a low-diameter family: the naive dual
+    Bellman-Ford costs Θ(#faces) rounds; the labeling costs Õ(D²)."""
+    g = randomize_weights(grid(3, cols), seed=cols)
+    lengths = {d: g.weights[d >> 1] for d in g.darts()}
+    led = RoundLedger()
+
+    def run():
+        bdd = build_bdd(g, leaf_size=12, ledger=led)
+        return DualDistanceLabeling(bdd, lengths, ledger=led)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "n": g.n, "D": g.diameter(),
+        "labeling_rounds": led.total(),
+        "naive_bf_rounds": naive_dual_sssp_rounds(g),
+    })

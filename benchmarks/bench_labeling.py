@@ -1,0 +1,51 @@
+"""E2 (Theorem 2.1): dual distance labeling — Õ(D)-bit labels, Õ(D²)
+construction rounds."""
+
+import pytest
+
+from repro.bdd import build_bdd
+from repro.congest import RoundLedger
+from repro.labeling import DualDistanceLabeling
+from repro.planar.generators import grid, randomize_weights
+
+
+@pytest.mark.parametrize("name", ["grid-small", "grid-large", "delaunay"])
+def test_labeling_construction(benchmark, instances, name):
+    g = instances[name]
+    lengths = {d: g.weights[d >> 1] for d in g.darts()}
+    bdd = build_bdd(g, leaf_size=max(12, g.diameter()))
+
+    def run():
+        return DualDistanceLabeling(bdd, lengths)
+
+    lab = benchmark(run)
+    led = RoundLedger()
+    DualDistanceLabeling(bdd, lengths, duals=lab.duals, ledger=led)
+    d = g.diameter()
+    benchmark.extra_info.update({
+        "n": g.n, "D": d,
+        "congest_rounds": led.total(),
+        "rounds_per_D2": round(led.total() / d ** 2, 2),
+        "max_label_bits": lab.max_label_bits(),
+        "label_bits_per_D": round(lab.max_label_bits() / d, 1),
+        "bdd_depth": bdd.depth,
+    })
+
+
+@pytest.mark.parametrize("cols", [8, 14, 20])
+def test_label_bits_vs_diameter(benchmark, cols):
+    """Label size sweep: bits should grow ~linearly with D, not with n."""
+    g = randomize_weights(grid(3, cols), seed=cols)
+    lengths = {d: g.weights[d >> 1] for d in g.darts()}
+
+    def run():
+        bdd = build_bdd(g, leaf_size=12)
+        return DualDistanceLabeling(bdd, lengths)
+
+    lab = benchmark.pedantic(run, rounds=1, iterations=1)
+    d = g.diameter()
+    benchmark.extra_info.update({
+        "n": g.n, "D": d,
+        "max_label_bits": lab.max_label_bits(),
+        "label_bits_per_D": round(lab.max_label_bits() / d, 1),
+    })

@@ -1,0 +1,61 @@
+"""E1 (Theorem 1.2): exact max st-flow — value matches the oracle, and
+the round count divided by D² stays flat across the diameter sweep."""
+
+import pytest
+
+from repro.baselines.distributed_naive import naive_maxflow_rounds
+from repro.congest import RoundLedger
+from repro.core import PlanarMaxFlow, flow_value_networkx
+from repro.planar.generators import grid, randomize_weights
+
+
+@pytest.mark.parametrize("name", ["grid-small", "cylinder", "delaunay"])
+def test_maxflow_families(benchmark, instances, name):
+    g = instances[name]
+    s, t = 0, g.n - 1
+    ref = flow_value_networkx(g, s, t, directed=True)
+    solver = PlanarMaxFlow(g, directed=True,
+                           leaf_size=max(12, g.diameter()))
+
+    def run():
+        return solver.solve(s, t)
+
+    res = benchmark(run)
+    assert res.value == ref
+
+    led = RoundLedger()
+    solver_counted = PlanarMaxFlow(g, directed=True,
+                                   leaf_size=max(12, g.diameter()),
+                                   ledger=led)
+    solver_counted.solve(s, t)
+    d = g.diameter()
+    benchmark.extra_info.update({
+        "n": g.n, "D": d, "value": res.value,
+        "congest_rounds": led.total(),
+        "rounds_per_D2": round(led.total() / d ** 2, 2),
+        "naive_rounds": naive_maxflow_rounds(g),
+    })
+
+
+@pytest.mark.parametrize("k", [0, 1, 2])
+def test_maxflow_diameter_sweep(benchmark, k):
+    """Fixed family, growing D: the Õ(D²) shape experiment."""
+    g = randomize_weights(grid(3, 6 + 4 * k), seed=k,
+                          directed_capacities=True)
+    s, t = 0, g.n - 1
+    ref = flow_value_networkx(g, s, t, directed=True)
+    led = RoundLedger()
+
+    def run():
+        solver = PlanarMaxFlow(g, directed=True, leaf_size=12,
+                               ledger=led)
+        return solver.solve(s, t)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert res.value == ref
+    d = g.diameter()
+    benchmark.extra_info.update({
+        "n": g.n, "D": d,
+        "congest_rounds": led.total(),
+        "rounds_per_D2": round(led.total() / d ** 2, 2),
+    })

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one experiment of the index in DESIGN.md §4:
+it re-runs the algorithm under ``pytest-benchmark`` timing, records the
+CONGEST round counts in ``extra_info`` (rounds — not wall time — are the
+quantity the paper bounds), and asserts the correctness oracle inline so
+a benchmark can never silently report numbers for a wrong answer.
+"""
+
+import pytest
+
+from repro.planar.generators import (
+    cylinder,
+    grid,
+    random_planar,
+    randomize_weights,
+)
+
+
+@pytest.fixture(scope="session")
+def instances():
+    """Shared weighted instances across benchmark modules."""
+    return {
+        "grid-small": randomize_weights(grid(5, 6), seed=1,
+                                        directed_capacities=True),
+        "grid-large": randomize_weights(grid(7, 9), seed=2,
+                                        directed_capacities=True),
+        "cylinder": randomize_weights(cylinder(4, 8), seed=3,
+                                      directed_capacities=True),
+        "delaunay": randomize_weights(random_planar(60, seed=4), seed=4,
+                                      directed_capacities=True),
+    }

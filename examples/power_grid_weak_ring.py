@@ -1,0 +1,45 @@
+"""Finding the weakest ring of a power distribution grid.
+
+A planar mesh grid's reliability against cascading line trips is
+governed by its minimum-weight cycle (the weighted girth): the cheapest
+closed loop of line-upgrade costs that, if reinforced, adds a redundant
+ring.  Theorem 1.7 computes it in Õ(D) rounds by simulating the exact
+minor-aggregation min-cut on the dual network.
+
+    python examples/power_grid_weak_ring.py
+"""
+
+from repro.baselines.centralized import centralized_weighted_girth
+from repro.congest import RoundLedger
+from repro.core import weighted_girth
+from repro.planar.generators import cylinder, randomize_weights
+
+
+def main():
+    # a ring-shaped distribution grid (cylinder topology), line weights
+    # = upgrade cost in k$
+    grid_net = randomize_weights(cylinder(5, 9), low=3, high=40, seed=13)
+    d = grid_net.diameter()
+    print(f"power grid: {grid_net.n} buses, {grid_net.m} lines, "
+          f"diameter {d}")
+
+    ledger = RoundLedger()
+    res = weighted_girth(grid_net, ledger=ledger)
+
+    print(f"\nweakest ring: total upgrade cost {res.value} k$ over "
+          f"{len(res.cycle_edge_ids)} lines:")
+    for eid in res.cycle_edge_ids:
+        u, v = grid_net.edges[eid]
+        print(f"  bus {u} -- bus {v}  ({grid_net.weights[eid]} k$)")
+
+    assert res.value == centralized_weighted_girth(grid_net)
+    print("\nverified against the centralized girth solver")
+
+    total = ledger.total()
+    print(f"CONGEST rounds: {total} (rounds/D = {total / d:.0f}; prior "
+          f"work [36] needed Õ(D²) = ~{d * d} x polylog)")
+    print(f"minor-aggregation rounds on the dual: {res.ma_rounds}")
+
+
+if __name__ == "__main__":
+    main()

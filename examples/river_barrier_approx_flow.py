@@ -1,0 +1,50 @@
+"""Fast approximate flow across a river delta (st-planar case).
+
+When source and sink lie on the same face — here, two harbors on the
+coastline of a river-delta channel network — Theorem 1.3 trades
+exactness for a D·n^{o(1)}-round budget: a (1−ε)-approximate flow with
+a *feasible* assignment (via the smoothing machinery of [41]) and a
+certified st-cut within (1+ε) of optimal (Theorem 6.2).
+
+    python examples/river_barrier_approx_flow.py
+"""
+
+from repro.congest import RoundLedger
+from repro.core import (
+    approx_max_st_flow,
+    flow_value_networkx,
+    validate_flow,
+    verify_st_cut,
+)
+from repro.planar.generators import grid, randomize_weights
+
+
+def main():
+    # channel network: undirected capacities = channel widths
+    delta = randomize_weights(grid(6, 10), low=1, high=15, seed=21)
+    s, t = 0, delta.n - 1      # two harbors on the outer coastline
+    exact = flow_value_networkx(delta, s, t, directed=False)
+    print(f"delta network: {delta.n} junctions, {delta.m} channels")
+    print(f"exact max flow (oracle): {exact}")
+
+    for eps in (0.4, 0.2, 0.1):
+        ledger = RoundLedger()
+        res = approx_max_st_flow(delta, s, t, eps=eps, seed=1,
+                                 ledger=ledger)
+        validate_flow(delta, s, t, res.flow, res.value, directed=False)
+        assert verify_st_cut(delta, s, t, res.cut_edge_ids,
+                             directed=False)
+        print(f"\n  eps={eps:4}:  flow value {res.value:8.2f} "
+              f"({res.value / exact:.1%} of optimum)")
+        print(f"            barrier (cut) capacity {res.cut_capacity} "
+              f"({res.cut_capacity / exact:.1%} of optimum)")
+        print(f"            minor-aggregation rounds {res.ma_rounds}, "
+              f"CONGEST rounds {ledger.total()}")
+
+    print("\nthe assignment is feasible at every ε — the smoothing step "
+          "of [41] is what makes the approximate potentials capacity-"
+          "respecting")
+
+
+if __name__ == "__main__":
+    main()

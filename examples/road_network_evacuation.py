@@ -1,0 +1,62 @@
+"""Evacuation planning on a road network.
+
+The intro's motivating scenario for planar max-flow: road networks are
+(nearly) planar.  We synthesize a city road network as a Delaunay
+triangulation of random intersections, direct the roads, assign lane
+capacities, and ask: how many vehicle-units per time step can leave the
+stadium (vertex s) toward the highway interchange (vertex t), and which
+roads form the bottleneck (the minimum st-cut)?
+
+    python examples/road_network_evacuation.py
+"""
+
+import random
+
+from repro.congest import RoundLedger
+from repro.core import (
+    flow_value_networkx,
+    max_st_flow,
+    min_st_cut,
+    verify_st_cut,
+)
+from repro.planar.generators import random_planar, randomize_weights
+
+
+def main():
+    rng = random.Random(7)
+    city = randomize_weights(random_planar(120, seed=7, keep=0.92),
+                             low=1, high=6, seed=7,
+                             directed_capacities=True)
+    s = 0                                    # the stadium
+    t = city.n - 1                           # the interchange
+    d = city.diameter()
+    print(f"road network: {city.n} intersections, {city.m} road "
+          f"segments, diameter {d} hops")
+
+    ledger = RoundLedger()
+    flow = max_st_flow(city, s, t, directed=True, ledger=ledger)
+    print(f"\nevacuation capacity {s} -> {t}: "
+          f"{flow.value} vehicle-units per time step")
+    assert flow.value == flow_value_networkx(city, s, t, directed=True)
+
+    cut = min_st_cut(city, s, t, directed=True)
+    assert verify_st_cut(city, s, t, cut.cut_edge_ids, directed=True)
+    print(f"bottleneck: {len(cut.cut_edge_ids)} road segments carry the "
+          f"entire evacuation:")
+    for eid in cut.cut_edge_ids[:10]:
+        u, v = city.edges[eid]
+        print(f"  {u} -> {v}  (capacity {city.capacities[eid]})")
+    if len(cut.cut_edge_ids) > 10:
+        print(f"  ... and {len(cut.cut_edge_ids) - 10} more")
+
+    saturated = sum(1 for eid in cut.cut_edge_ids
+                    if abs(flow.flow[eid] - city.capacities[eid]) < 1e-9)
+    print(f"\nall {saturated}/{len(cut.cut_edge_ids)} cut segments are "
+          f"saturated (max-flow = min-cut)")
+    print(f"\nCONGEST rounds used: {ledger.total()} "
+          f"(D²={d * d}; the naive dual Bellman-Ford shape would cost "
+          f"~{2 * city.num_faces()} rounds per SSSP probe)")
+
+
+if __name__ == "__main__":
+    main()

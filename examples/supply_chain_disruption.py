@@ -1,0 +1,47 @@
+"""Minimum disruption of a logistics network (directed global min-cut).
+
+A planar logistics network moves goods along directed lanes.  The
+*directed global minimum cut* is the cheapest set of lanes whose removal
+splits the network into an upstream part that can no longer reach some
+downstream part — the paper's Theorem 1.5, computed via the minimum
+dart-simple directed cycle in the dual.
+
+    python examples/supply_chain_disruption.py
+"""
+
+from repro.baselines.centralized import centralized_directed_global_mincut
+from repro.congest import RoundLedger
+from repro.core import directed_global_mincut
+from repro.planar.generators import bidirect, random_planar, \
+    randomize_weights
+
+
+def main():
+    # depots connected by lanes in both directions with asymmetric
+    # tonnage capacities
+    base = randomize_weights(random_planar(25, seed=3), low=2, high=25,
+                             seed=3)
+    net = bidirect(base, seed=3)
+    d = net.diameter()
+    print(f"logistics network: {net.n} depots, {net.m} directed lanes, "
+          f"diameter {d}")
+
+    ledger = RoundLedger()
+    res = directed_global_mincut(net, ledger=ledger)
+
+    side = set(res.side)
+    print(f"\nminimum disruption: sever {len(res.cut_edge_ids)} lanes "
+          f"(total {res.value} tons/day) to isolate "
+          f"{len(side)} depots from the remaining {net.n - len(side)}:")
+    for eid in res.cut_edge_ids[:10]:
+        u, v = net.edges[eid]
+        print(f"  lane {u} -> {v}  ({net.weights[eid]} tons/day)")
+
+    ref = centralized_directed_global_mincut(net)
+    assert res.value == ref
+    print(f"\nverified against {net.n - 1} centralized max-flow pairs")
+    print(f"CONGEST rounds: {ledger.total()} (D² = {d * d})")
+
+
+if __name__ == "__main__":
+    main()

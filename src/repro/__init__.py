@@ -1,0 +1,44 @@
+"""repro — reproduction of "Distributed Maximum Flow in Planar Graphs"
+(Abd-Elhaleem, Dory, Parter, Weimann; PODC 2025).
+
+Public API highlights:
+
+* :func:`repro.core.max_st_flow` — exact max st-flow (Theorem 1.2)
+* :func:`repro.core.min_st_cut` — exact min st-cut (Theorem 6.1)
+* :func:`repro.core.approx_max_st_flow` — (1−ε) st-planar flow + cut
+  (Theorems 1.3 / 6.2)
+* :func:`repro.core.directed_global_mincut` — Theorem 1.5
+* :func:`repro.core.weighted_girth` — Theorem 1.7
+* :class:`repro.labeling.DualDistanceLabeling` — Theorem 2.1
+* :class:`repro.congest.RoundLedger` — audited CONGEST round counts
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.congest import RoundLedger
+from repro.core import (
+    approx_max_st_flow,
+    directed_global_mincut,
+    max_st_flow,
+    min_st_cut,
+    weighted_girth,
+)
+from repro.labeling import DualDistanceLabeling, PrimalDistanceLabeling
+from repro.planar import DualGraph, PlanarGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RoundLedger",
+    "max_st_flow",
+    "min_st_cut",
+    "approx_max_st_flow",
+    "directed_global_mincut",
+    "weighted_girth",
+    "DualDistanceLabeling",
+    "PrimalDistanceLabeling",
+    "PlanarGraph",
+    "DualGraph",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Minor-aggregation model stack: basic/extended model, dual simulation,
+orientation, MST, min-cut, approximate SSSP, smoothing."""
+
+from repro.aggregation.model import MinorAggregationGraph
+from repro.aggregation.dual_sim import DualMAHost
+from repro.aggregation.mst import boruvka_mst
+from repro.aggregation.mincut_ma import minor_aggregate_mincut
+from repro.aggregation.orientation import (
+    deactivate_parallel_edges,
+    low_outdegree_orientation,
+)
+from repro.aggregation.sssp_ma import ApproxSsspOracle
+from repro.aggregation.smoothing import smooth_sssp
+
+__all__ = [
+    "MinorAggregationGraph",
+    "DualMAHost",
+    "boruvka_mst",
+    "minor_aggregate_mincut",
+    "deactivate_parallel_edges",
+    "low_outdegree_orientation",
+    "ApproxSsspOracle",
+    "smooth_sssp",
+]

@@ -1,0 +1,70 @@
+"""Simulating minor-aggregation algorithms on the dual graph G*
+(Theorems 4.10 and 4.14).
+
+:class:`DualMAHost` owns the face-disjoint graph Ĝ, its measured
+shortcut quality, and the conversion rate between MA rounds on ``G*``
+(or a virtual ``G*_virt``) and CONGEST rounds on ``G``:
+
+    CONGEST rounds  =  MA rounds × PA-cost(Ĝ) × Ĝ-overhead × β
+
+with β the virtual-node multiplier of Lemma 4.13.  Algorithms obtain a
+:class:`~repro.aggregation.model.MinorAggregationGraph` over the dual
+nodes from the host and run unchanged; on completion the host charges
+the ledger.
+"""
+
+from __future__ import annotations
+
+from repro.aggregation.model import MinorAggregationGraph
+from repro.shortcuts.partwise import DualPartwiseHost
+
+
+class DualMAHost:
+    """Host for minor-aggregation algorithms on G*."""
+
+    def __init__(self, primal, ledger=None):
+        self.primal = primal
+        self.ledger = ledger
+        self.pa = DualPartwiseHost(primal, ledger=ledger)
+        self.dual = self.pa.dual
+
+    @property
+    def pa_rounds(self):
+        return self.pa.pa_rounds
+
+    def ma_graph(self, weights=None, directed_reversals=False):
+        """A fresh MA graph over the dual nodes.
+
+        Edges are the undirected dual edges (one per primal edge), with
+        ``weights`` defaulting to primal edge weights.  Each node/edge of
+        the MA graph is simulated by the corresponding face cycle / E_C
+        endpoints of Ĝ (Theorem 4.10); the identification costs one
+        component-detection pass on Ĝ[E_R] (Property 4)."""
+        if self.ledger is not None:
+            self.ledger.charge(self.pa_rounds, "dual-ma/identify-faces",
+                               ref="Ĝ Property 4 / Thm 4.10")
+        faces = list(range(self.primal.num_faces()))
+        edges = []
+        w = []
+        for eid in range(self.primal.m):
+            f = self.primal.face_of[2 * eid]
+            g = self.primal.face_of[2 * eid + 1]
+            edges.append((f, g))
+            w.append(self.primal.weights[eid]
+                     if weights is None else weights[eid])
+        return MinorAggregationGraph(faces, edges, weights=w)
+
+    def charge(self, ma_graph, phase, extra_detail=""):
+        """Convert the MA rounds consumed so far into CONGEST rounds on
+        G and charge the ledger (Theorem 4.10 / 4.14)."""
+        if self.ledger is None:
+            return 0
+        beta = ma_graph.virtual_overhead
+        rounds = ma_graph.ma_rounds * self.pa_rounds * beta
+        self.ledger.charge(
+            rounds, f"dual-ma/{phase}",
+            detail=f"{ma_graph.ma_rounds} MA rounds x {self.pa_rounds} "
+                   f"PA cost x beta={beta} {extra_detail}",
+            ref="Theorem 4.10 / Theorem 4.14")
+        ma_graph.ma_rounds = 0
+        return rounds

@@ -1,0 +1,51 @@
+"""Boruvka minimum spanning tree in the minor-aggregation model.
+
+Used by the tree-packing min-cut (Theorem 4.16 substitute), by the
+zero-weight-edge handling of the approximate flow (Section 6.1), and as a
+standalone MA example.  O(log n) Boruvka phases; each phase is O(1) MA
+rounds (aggregate the minimum outgoing edge, then contract), matching
+[43]'s Example 4.4.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+def boruvka_mst(ma, weight_fn=None, forbidden=None):
+    """Compute an MST/minimum spanning forest of the active edges.
+
+    ``ma``: a :class:`MinorAggregationGraph` (contraction state is used
+    and reset afterwards).  ``weight_fn(edge) -> float`` overrides edge
+    weights (the tree packing re-weights by load).  ``forbidden``: set of
+    eids to ignore.  Returns list of chosen edge ids.
+    """
+    weight_fn = weight_fn or (lambda e: e.weight)
+    forbidden = forbidden or ()
+    ma.reset_contractions()
+    chosen = []
+    guard = 0
+    while True:
+        guard += 1
+        if guard > 2 * len(ma.nodes) + 8:
+            raise SimulationError("Boruvka did not converge")
+
+        # aggregation step: each supernode learns its min outgoing edge
+        def edge_fn(e, ru, rv):
+            if e.eid in forbidden:
+                return None
+            key = (weight_fn(e), e.eid)
+            return key, key
+
+        best = ma.aggregate(edge_fn, min)
+        picks = {v: best[v] for v in ma.nodes if best.get(v) is not None}
+        if not picks:
+            break
+        flags = {}
+        for v, (_w, eid) in picks.items():
+            flags[eid] = True
+        for eid in flags:
+            chosen.append(eid)
+        ma.contract(flags)
+    ma.reset_contractions()
+    return sorted(set(chosen))

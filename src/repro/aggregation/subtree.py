@@ -1,0 +1,85 @@
+"""Subtree and ancestor aggregations in the minor-aggregation model.
+
+These are the Õ(1)-MA-round tree primitives of Ghaffari-Zuzic [18]
+(Lemma 16), used by the approximate flow pipeline (root the SSSP tree,
+compute ancestor path sums = distances from the source) and by the
+min-cut machinery.  The implementations are heavy-path-free: on a stored
+rooted tree the values are computed directly and the standard MA-round
+budget O(log² n) is charged to the graph's counter.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+
+
+def _rooted(tree_adj, root):
+    parent = {root: None}
+    order = [root]
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v in tree_adj.get(u, ()):
+            if v not in parent:
+                parent[v] = u
+                order.append(v)
+                stack.append(v)
+    return parent, order
+
+
+def _ma_budget(ma, n):
+    ma.ma_rounds += max(1, int(math.log2(max(n, 2))) ** 2)
+
+
+def subtree_sums(ma, tree_edges, root, values):
+    """For every node: sum of ``values`` over its subtree.
+
+    ``tree_edges``: (u, v) pairs forming a tree over (a subset of) the
+    MA graph's nodes.  Charges Õ(1) MA rounds ([18] Lemma 16).
+    """
+    tree_adj = {}
+    for (u, v) in tree_edges:
+        tree_adj.setdefault(u, []).append(v)
+        tree_adj.setdefault(v, []).append(u)
+    tree_adj.setdefault(root, [])
+    parent, order = _rooted(tree_adj, root)
+    if len(parent) != len(tree_adj):
+        raise SimulationError("subtree_sums: edges do not form a tree "
+                              "containing the root")
+    out = {u: values.get(u, 0) for u in parent}
+    for u in reversed(order):
+        p = parent[u]
+        if p is not None:
+            out[p] += out[u]
+    _ma_budget(ma, len(parent))
+    return out
+
+
+def ancestor_path_sums(ma, tree_edges, root, edge_values):
+    """For every node: sum of ``edge_values`` along its root path.
+
+    ``edge_values``: dict (u, v) [either orientation] -> value.  This is
+    the primitive that turns a shortest-path tree into distances from
+    the source (proof of Theorem 1.3).  Charges Õ(1) MA rounds.
+    """
+    tree_adj = {}
+    for (u, v) in tree_edges:
+        tree_adj.setdefault(u, []).append(v)
+        tree_adj.setdefault(v, []).append(u)
+    tree_adj.setdefault(root, [])
+    parent, order = _rooted(tree_adj, root)
+    if len(parent) != len(tree_adj):
+        raise SimulationError("ancestor_path_sums: not a tree with root")
+    out = {root: 0}
+    for u in order:
+        p = parent[u]
+        if p is None:
+            continue
+        w = edge_values.get((p, u), edge_values.get((u, p)))
+        if w is None:
+            raise SimulationError(f"missing edge value for ({p},{u})")
+        out[u] = out[p] + w
+    _ma_budget(ma, len(parent))
+    return out

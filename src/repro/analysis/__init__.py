@@ -1,0 +1,5 @@
+"""Experiment harness and metrics (DESIGN.md experiment index)."""
+
+from repro.analysis.metrics import SeriesRow, fit_exponent, format_table
+
+__all__ = ["SeriesRow", "fit_exponent", "format_table"]

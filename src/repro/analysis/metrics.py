@@ -1,0 +1,66 @@
+"""Measurement helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SeriesRow:
+    """One row of an experiment series (printed into EXPERIMENTS.md)."""
+
+    family: str
+    n: int
+    d: int
+    rounds: int
+    extra: dict = field(default_factory=dict)
+
+    def normalized(self, exponent=2):
+        """rounds / D^exponent — flat series confirm the claimed shape."""
+        return self.rounds / max(self.d, 1) ** exponent
+
+
+def format_table(rows, columns, title=None):
+    """Render rows (dicts or SeriesRow) as a monospace table."""
+    def get(row, c):
+        if isinstance(row, dict):
+            return row.get(c, "")
+        if hasattr(row, c):
+            return getattr(row, c)
+        return row.extra.get(c, "")
+
+    widths = {c: max(len(str(c)),
+                     max((len(_fmt(get(r, c))) for r in rows), default=0))
+              for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for r in rows:
+        lines.append("  ".join(_fmt(get(r, c)).ljust(widths[c])
+                               for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(x):
+    if isinstance(x, float):
+        if x == int(x) and abs(x) < 1e15:
+            return str(int(x))
+        return f"{x:.3g}"
+    return str(x)
+
+
+def fit_exponent(xs, ys):
+    """Least-squares slope of log y vs log x: the measured growth
+    exponent of a series (e.g. rounds vs D should fit ≈ 2 for Õ(D²))."""
+    pts = [(math.log(x), math.log(y)) for x, y in zip(xs, ys)
+           if x > 1 and y > 0]
+    if len(pts) < 2:
+        return float("nan")
+    mx = sum(p[0] for p in pts) / len(pts)
+    my = sum(p[1] for p in pts) / len(pts)
+    num = sum((p[0] - mx) * (p[1] - my) for p in pts)
+    den = sum((p[0] - mx) ** 2 for p in pts)
+    return num / den if den else float("nan")

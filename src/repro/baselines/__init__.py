@@ -1,0 +1,21 @@
+"""Baselines the distributed algorithms are compared against."""
+
+from repro.baselines.centralized import (
+    centralized_directed_global_mincut,
+    centralized_max_flow,
+    centralized_weighted_girth,
+)
+from repro.baselines.distributed_naive import (
+    de_vos_round_model,
+    ghaffari_et_al_round_model,
+    naive_dual_sssp_rounds,
+)
+
+__all__ = [
+    "centralized_max_flow",
+    "centralized_weighted_girth",
+    "centralized_directed_global_mincut",
+    "naive_dual_sssp_rounds",
+    "de_vos_round_model",
+    "ghaffari_et_al_round_model",
+]

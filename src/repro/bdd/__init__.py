@@ -1,0 +1,21 @@
+"""Bounded-diameter decomposition and its dual extension (Section 5.1)."""
+
+from repro.bdd.bags import BDD, Bag
+from repro.bdd.build import build_bdd, default_leaf_size
+from repro.bdd.checks import validate_bdd
+from repro.bdd.dual_bags import DualBag, build_all_dual_bags, build_dual_bag
+
+__all__ = [
+    "BDD",
+    "Bag",
+    "build_bdd",
+    "default_leaf_size",
+    "validate_bdd",
+    "DualBag",
+    "build_dual_bag",
+    "build_all_dual_bags",
+]
+
+from repro.bdd.knowledge import build_knowledge, verify_knowledge  # noqa: E402
+
+__all__ += ["build_knowledge", "verify_knowledge"]

@@ -1,0 +1,97 @@
+"""Dual bags X* and their separators F_X (Theorem 5.2, properties 9-12).
+
+The dual bag of ``X`` has a node per face *or face-part* of ``G`` with
+live darts in ``X``, and an arc per dart of every edge whose two darts
+are both live in ``X`` (edges with a dart on a hole have no dual).  The
+set ``F_X`` — endpoints of dual separator arcs plus faces split between
+children — is a node separator of ``X*`` (Lemma 5.8), which is the
+property the labeling scheme stands on; :func:`repro.bdd.checks`
+verifies it directly on every decomposition the tests build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.planar.graph import rev
+
+
+@dataclass
+class DualBag:
+    """The dual X* of a bag, with everything the labeling algorithm
+    needs precomputed."""
+
+    bag: object
+    #: face id -> sorted live darts (the node's darts)
+    nodes: dict
+    #: darts d with both d and rev(d) live: arc face(d) -> face(rev d)
+    arc_darts: list
+    #: separator-node set F_X (face ids); empty for leaves
+    f_x: set
+    #: face id -> child bag that entirely contains it (None if split or leaf)
+    child_of_node: dict
+    #: dual separator arcs: darts of S_X edges with both darts live
+    sx_arc_darts: list
+    #: face id -> set of child bags holding parts of it (split faces)
+    parts_in_children: dict = field(default_factory=dict)
+
+    @property
+    def num_nodes(self):
+        return len(self.nodes)
+
+    def arcs(self, lengths):
+        """(dart, tail_face, head_face, length) for every dual arc."""
+        g = self.bag._graph
+        return [(d, g.face_of[d], g.face_of[rev(d)], lengths[d])
+                for d in self.arc_darts]
+
+
+def build_dual_bag(bag):
+    """Compute the dual bag of ``bag``."""
+    g = bag._graph
+    live = bag.live_darts
+    nodes = bag.live_faces()
+
+    arc_darts = [d for d in sorted(live) if rev(d) in live]
+
+    sx_arc_darts = []
+    f_x = set()
+    child_of_node = {}
+    parts = {}
+
+    if not bag.is_leaf:
+        sx_set = set(bag.sx_edge_ids)
+        for d in arc_darts:
+            if (d >> 1) in sx_set:
+                sx_arc_darts.append(d)
+                f_x.add(g.face_of[d])
+                f_x.add(g.face_of[rev(d)])
+
+        # faces whose live darts are split between children
+        dart_child = {}
+        for c in bag.children:
+            for d in c.live_darts:
+                dart_child[d] = c
+        for f, darts in nodes.items():
+            owner_bags = {}
+            for d in darts:
+                c = dart_child.get(d)
+                if c is not None:
+                    owner_bags[id(c)] = c
+            if len(owner_bags) >= 2:
+                f_x.add(f)
+                parts[f] = set(owner_bags.values())
+                child_of_node[f] = None
+            elif len(owner_bags) == 1:
+                child_of_node[f] = next(iter(owner_bags.values()))
+            else:
+                child_of_node[f] = None
+
+    return DualBag(bag=bag, nodes=nodes, arc_darts=arc_darts, f_x=f_x,
+                   child_of_node=child_of_node, sx_arc_darts=sx_arc_darts,
+                   parts_in_children=parts)
+
+
+def build_all_dual_bags(bdd):
+    """Dual bag for every bag; returns dict bag_id -> DualBag."""
+    return {bag.bag_id: build_dual_bag(bag) for bag in bdd.bags}

@@ -1,0 +1,132 @@
+"""Distributed-knowledge bookkeeping (Theorem 5.2 properties 13-14,
+Section 5.1.3, Algorithm 1).
+
+The paper's labeling algorithm requires every vertex to know, for each
+incident dart and every bag containing it: the bag id (Lemma 5.10), the
+face/face-part id the dart lies on (Lemma 5.12), whether that face is
+the bag's critical face, and the dual arc of each incident edge
+(Lemma 5.14).  This module materializes exactly that per-vertex state —
+nothing more — and verifies it is *locally consistent*: each vertex's
+view can be cross-checked against its neighbors' without global data,
+which is what makes the scheme distributively storable.
+
+Face-part ids follow Lemma 5.12's format: the id of a part of face f
+in bag X is the pair ``(id of f's part in the parent, bag id)``, so a
+part's id textually contains its ancestors' ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecompositionError
+from repro.planar.graph import rev
+
+
+@dataclass
+class VertexKnowledge:
+    """What one vertex knows (Õ(log² n) words per level, as charged)."""
+
+    vertex: int
+    #: dart -> list of bag ids containing it (one per level, Lemma 5.10)
+    bags_of_dart: dict = field(default_factory=dict)
+    #: (bag id, dart) -> face-part id tuple (Lemma 5.12)
+    face_id_of_dart: dict = field(default_factory=dict)
+    #: (bag id, edge id) -> (tail face-part id, head face-part id) or
+    #: None when the edge has no dual in the bag (Lemma 5.14)
+    dual_arc_of_edge: dict = field(default_factory=dict)
+
+    def words(self):
+        return (len(self.bags_of_dart) + len(self.face_id_of_dart)
+                + 2 * len(self.dual_arc_of_edge))
+
+
+def build_knowledge(bdd, ledger=None):
+    """Per-vertex knowledge tables for a BDD (Algorithm 1).
+
+    Returns dict vertex -> :class:`VertexKnowledge`.  Charges Õ(D) per
+    level (the paper's broadcast of critical-face and face-part ids).
+    """
+    g = bdd.graph
+    know = {v: VertexKnowledge(vertex=v) for v in range(g.n)}
+
+    # face-part ids per (bag, face): root parts are the G-face ids; the
+    # id extends with the child bag id exactly when the parent's part
+    # split between children (Lemma 5.12: the parent's id is a prefix)
+    face_pid = {}
+    canon = {}
+    for bag in sorted(bdd.bags, key=lambda b: b.level):
+        faces = bag.live_faces()
+        for f, darts in faces.items():
+            if bag.parent is None:
+                pid = (f,)
+            else:
+                parent_pid = face_pid[(bag.parent.bag_id, f)]
+                parent_darts = bag.parent.live_faces()[f]
+                if len(darts) == len(parent_darts):
+                    pid = parent_pid          # moved whole: same part
+                else:
+                    pid = parent_pid + (bag.bag_id,)
+            face_pid[(bag.bag_id, f)] = pid
+            for d in darts:
+                canon[(bag.bag_id, d)] = pid
+
+    for bag in bdd.bags:
+        live = bag.live_darts
+        for d in live:
+            v = g.tail(d)
+            know[v].bags_of_dart.setdefault(d, []).append(bag.bag_id)
+            know[v].face_id_of_dart[(bag.bag_id, d)] = \
+                canon[(bag.bag_id, d)]
+        for eid in bag.edge_ids:
+            dp, dm = 2 * eid, 2 * eid + 1
+            if dp in live and dm in live:
+                arc = (canon[(bag.bag_id, dp)], canon[(bag.bag_id, dm)])
+            else:
+                arc = None
+            for v in g.edges[eid]:
+                know[v].dual_arc_of_edge[(bag.bag_id, eid)] = arc
+        if ledger is not None:
+            ledger.charge(bag.bfs_depth + len(bag.live_faces()) + 1,
+                          f"knowledge/level{bag.level}",
+                          ref="Lemma 5.12 / Algorithm 1")
+    return know
+
+
+def verify_knowledge(bdd, know):
+    """Local-consistency checks of the per-vertex tables.
+
+    * both endpoints of an edge agree on its dual arc per bag;
+    * a dart's face-part id is identical at every vertex on the part;
+    * dart-to-bag lists agree with the decomposition (Lemma 5.5).
+    """
+    g = bdd.graph
+    for bag in bdd.bags:
+        for eid in bag.edge_ids:
+            u, v = g.edges[eid]
+            au = know[u].dual_arc_of_edge.get((bag.bag_id, eid), "missing")
+            av = know[v].dual_arc_of_edge.get((bag.bag_id, eid), "missing")
+            if au != av:
+                raise DecompositionError(
+                    f"endpoints of edge {eid} disagree on its dual arc "
+                    f"in bag {bag.bag_id}")
+        for f, darts in bag.live_faces().items():
+            ids = {know[g.tail(d)].face_id_of_dart[(bag.bag_id, d)]
+                   for d in darts}
+            if len(ids) != 1:
+                raise DecompositionError(
+                    f"face {f} of bag {bag.bag_id} has inconsistent "
+                    f"part ids: {ids}")
+    for bag in bdd.bags:
+        for d in bag.live_darts:
+            v = g.tail(d)
+            if bag.bag_id not in know[v].bags_of_dart.get(d, ()):
+                raise DecompositionError(
+                    f"vertex {v} missing bag {bag.bag_id} for dart {d}")
+    return True
+
+
+def knowledge_words_per_vertex(know):
+    """Maximum table size (words) over the vertices: the distributed
+    storage cost the paper bounds by Õ(D) per vertex."""
+    return max(k.words() for k in know.values())

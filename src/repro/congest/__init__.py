@@ -1,0 +1,6 @@
+"""CONGEST model: message-level simulator, primitives, round ledger."""
+
+from repro.congest.network import CongestNetwork, NodeProgram, RunStats
+from repro.congest.rounds import RoundLedger
+
+__all__ = ["CongestNetwork", "NodeProgram", "RunStats", "RoundLedger"]

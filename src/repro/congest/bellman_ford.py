@@ -1,0 +1,72 @@
+"""Distributed Bellman-Ford: the naive Θ(n)-round SSSP baseline.
+
+This is the comparison point the paper's introduction sets up: without
+planar-duality machinery, exact SSSP (and hence max-flow via Miller-Naor)
+costs Θ(n) rounds on the dual communication scaffold, versus the Õ(D²)
+of the labeling scheme.  The program runs at the message level.
+"""
+
+from __future__ import annotations
+
+from repro.congest.network import CongestNetwork, NodeProgram
+
+
+class BellmanFordProgram(NodeProgram):
+    """Classic distributed Bellman-Ford with per-edge weights.
+
+    Each node repeatedly announces its current distance; neighbors relax.
+    Terminates via a round-count horizon supplied by the caller (the
+    standard n-round schedule); negative cycles are reported when a
+    distance keeps improving past the horizon.
+    """
+
+    def __init__(self, source, edge_weight, horizon):
+        super().__init__()
+        self.source = source
+        self.edge_weight = edge_weight   # dict neighbor -> weight
+        self.horizon = horizon
+        self.dist = None
+        self.changed = True
+        self.negative_cycle = False
+
+    def setup(self, ctx):
+        if ctx.node == self.source:
+            self.dist = 0
+
+    def step(self, ctx, inbox):
+        improved = False
+        for sender, msg in inbox.items():
+            if msg[0] != "bf":
+                continue
+            cand = msg[1] + self.edge_weight[sender]
+            if self.dist is None or cand < self.dist:
+                self.dist = cand
+                improved = True
+        if ctx.round_no > self.horizon:
+            if improved:
+                self.negative_cycle = True
+            self.halted = True
+            return {}
+        if self.dist is not None and (improved or ctx.round_no == 1):
+            return {w: ("bf", self.dist) for w in ctx.neighbors}
+        return {}
+
+
+def run_bellman_ford(adjacency, weights, source):
+    """Run distributed Bellman-Ford.
+
+    ``weights``: dict (u, v) -> weight of the directed edge u->v (must be
+    present for both directions; use +inf to forbid one).  Returns
+    (dist dict, negative_cycle flag, stats).
+    """
+    net = CongestNetwork(adjacency)
+    horizon = net.n + 1
+    programs = {}
+    for v in net.nodes:
+        ew = {u: weights[(u, v)] for u in net.adj[v]}
+        programs[v] = BellmanFordProgram(source, ew, horizon)
+    # force the run to last the full horizon: nodes halt themselves
+    programs, stats = net.run(programs, max_rounds=horizon + 3)
+    dist = {v: programs[v].dist for v in net.nodes}
+    neg = any(p.negative_cycle for p in programs.values())
+    return dist, neg, stats

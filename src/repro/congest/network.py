@@ -1,0 +1,139 @@
+"""Message-level synchronous CONGEST simulator.
+
+Implements the standard model of Peleg [37]: in each round every vertex
+may send one O(log n)-bit message over each incident edge.  Node
+behaviour is given by a :class:`NodeProgram`; the network runs all
+programs in lock-step, delivers messages, counts rounds and bits, and
+flags messages that exceed the bandwidth budget.
+
+The basic primitives (BFS, broadcast, convergecast, Bellman-Ford) run at
+this level in the test-suite, demonstrating that the model is real; the
+heavyweight algorithms run at the knowledge level against
+:class:`~repro.congest.rounds.RoundLedger` (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+class NodeProgram:
+    """A vertex program.  Subclass and override the hooks.
+
+    The simulator calls :meth:`setup` once, then :meth:`step` every round
+    with the messages received at the *start* of the round.  ``step``
+    returns a dict ``{neighbor: message}`` of messages to send this
+    round.  A node signals completion by setting ``self.halted = True``;
+    the network stops when every node has halted (halted nodes still
+    receive and may be woken by messages).
+    """
+
+    def __init__(self):
+        self.halted = False
+
+    def setup(self, ctx):
+        """``ctx``: a :class:`NodeContext` with ids/neighbors."""
+
+    def step(self, ctx, inbox):
+        """``inbox``: dict neighbor -> message.  Return outbox dict."""
+        return {}
+
+
+@dataclass
+class NodeContext:
+    node: int
+    neighbors: tuple
+    n: int
+    round_no: int = 0
+
+
+@dataclass
+class RunStats:
+    rounds: int = 0
+    messages: int = 0
+    max_message_bits: int = 0
+    bandwidth_violations: int = 0
+
+
+def _bit_size(msg):
+    """Crude but monotone bit-size estimate of a message payload."""
+    if msg is None:
+        return 1
+    if isinstance(msg, bool):
+        return 1
+    if isinstance(msg, int):
+        return max(1, msg.bit_length() + 1)
+    if isinstance(msg, float):
+        return 64
+    if isinstance(msg, str):
+        return 8 * len(msg)
+    if isinstance(msg, (tuple, list)):
+        return sum(_bit_size(x) for x in msg) + len(msg)
+    if isinstance(msg, dict):
+        return sum(_bit_size(k) + _bit_size(v) for k, v in msg.items())
+    raise SimulationError(f"unsupported message type {type(msg)!r}")
+
+
+class CongestNetwork:
+    """Synchronous message-passing network over an adjacency structure."""
+
+    def __init__(self, adjacency, bandwidth_factor=8):
+        """``adjacency``: list (or dict) mapping vertex -> neighbor list.
+        ``bandwidth_factor``: messages above
+        ``bandwidth_factor * ceil(log2 n)`` bits are counted as
+        violations (the run still completes; tests assert zero)."""
+        if isinstance(adjacency, dict):
+            self.nodes = sorted(adjacency)
+            self.adj = {v: tuple(adjacency[v]) for v in self.nodes}
+        else:
+            self.nodes = list(range(len(adjacency)))
+            self.adj = {v: tuple(adjacency[v]) for v in self.nodes}
+        self.n = len(self.nodes)
+        self.bandwidth_bits = bandwidth_factor * max(
+            1, math.ceil(math.log2(max(self.n, 2))))
+
+    def run(self, programs, max_rounds=100000):
+        """Run node programs to completion.
+
+        ``programs``: dict vertex -> NodeProgram.  Returns
+        ``(programs, RunStats)``.
+        """
+        stats = RunStats()
+        ctxs = {}
+        for v in self.nodes:
+            ctx = NodeContext(node=v, neighbors=self.adj[v], n=self.n)
+            ctxs[v] = ctx
+            programs[v].setup(ctx)
+
+        inboxes = {v: {} for v in self.nodes}
+        for rnd in range(1, max_rounds + 1):
+            if all(p.halted for p in programs.values()) and \
+                    all(not box for box in inboxes.values()):
+                break
+            stats.rounds = rnd
+            outboxes = {}
+            for v in self.nodes:
+                ctx = ctxs[v]
+                ctx.round_no = rnd
+                out = programs[v].step(ctx, inboxes[v]) or {}
+                for w, msg in out.items():
+                    if w not in self.adj[v]:
+                        raise SimulationError(
+                            f"node {v} sent to non-neighbor {w}")
+                    bits = _bit_size(msg)
+                    stats.messages += 1
+                    stats.max_message_bits = max(stats.max_message_bits,
+                                                 bits)
+                    if bits > self.bandwidth_bits:
+                        stats.bandwidth_violations += 1
+                outboxes[v] = out
+            inboxes = {v: {} for v in self.nodes}
+            for v, out in outboxes.items():
+                for w, msg in out.items():
+                    inboxes[w][v] = msg
+        else:
+            raise SimulationError(f"did not converge in {max_rounds} rounds")
+        return programs, stats

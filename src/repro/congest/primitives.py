@@ -1,0 +1,142 @@
+"""Message-level CONGEST primitives: BFS, broadcast, convergecast.
+
+These node programs run on :class:`~repro.congest.network.CongestNetwork`
+and are the building blocks whose *costs* the knowledge-level round
+charges reproduce: a BFS completes in ``depth+1`` rounds, a pipelined
+broadcast of ``k`` messages in ``depth + k + O(1)`` rounds, etc.  The
+test-suite asserts these counts, grounding the ledger formulas.
+"""
+
+from __future__ import annotations
+
+from repro.congest.network import CongestNetwork, NodeProgram
+
+
+class BfsProgram(NodeProgram):
+    """Distributed BFS from ``root``; each node learns dist and parent."""
+
+    def __init__(self, root):
+        super().__init__()
+        self.root = root
+        self.dist = None
+        self.parent = None
+        self._announced = False
+
+    def setup(self, ctx):
+        if ctx.node == self.root:
+            self.dist = 0
+            self.parent = -1
+
+    def step(self, ctx, inbox):
+        for sender, msg in inbox.items():
+            if msg[0] == "bfs" and self.dist is None:
+                self.dist = msg[1] + 1
+                self.parent = sender
+        if self.dist is not None and not self._announced:
+            self._announced = True
+            self.halted = True
+            return {w: ("bfs", self.dist) for w in ctx.neighbors}
+        self.halted = True
+        return {}
+
+
+def run_bfs(adjacency, root):
+    """Run distributed BFS; returns (dist dict, parent dict, stats)."""
+    net = CongestNetwork(adjacency)
+    programs = {v: BfsProgram(root) for v in net.nodes}
+    programs, stats = net.run(programs)
+    dist = {v: programs[v].dist for v in net.nodes}
+    parent = {v: programs[v].parent for v in net.nodes}
+    return dist, parent, stats
+
+
+class PipelinedBroadcastProgram(NodeProgram):
+    """Root floods ``k`` O(log n)-bit tokens down a known BFS tree,
+    one token per round per edge (pipelining)."""
+
+    def __init__(self, root, tokens, parent):
+        super().__init__()
+        self.root = root
+        self.tokens = list(tokens) if root is not None else []
+        self.parent = parent       # parent[v] or -1, known from BFS phase
+        self.received = []
+        self._queue = []
+        self._sent = 0
+
+    def setup(self, ctx):
+        if ctx.node == self.root:
+            self._queue = list(self.tokens)
+            self.received = list(self.tokens)
+
+    def step(self, ctx, inbox):
+        for _sender, msg in inbox.items():
+            if msg[0] == "tok":
+                self.received.append(msg[1])
+                self._queue.append(msg[1])
+        if self._queue:
+            tok = self._queue.pop(0)
+            children = [w for w in ctx.neighbors
+                        if self.parent.get(w) == ctx.node]
+            self.halted = not self._queue
+            return {w: ("tok", tok) for w in children}
+        self.halted = True
+        return {}
+
+
+def run_pipelined_broadcast(adjacency, root, tokens):
+    """BFS-tree broadcast of ``len(tokens)`` messages; returns
+    (received dict, stats).  Completes in depth + k + O(1) rounds."""
+    dist, parent, _ = run_bfs(adjacency, root)
+    net = CongestNetwork(adjacency)
+    programs = {
+        v: PipelinedBroadcastProgram(root if v == root else None,
+                                     tokens if v == root else (),
+                                     parent)
+        for v in net.nodes
+    }
+    programs, stats = net.run(programs)
+    received = {v: programs[v].received for v in net.nodes}
+    return received, stats
+
+
+class ConvergecastSumProgram(NodeProgram):
+    """Sum an integer input up a known BFS tree to the root."""
+
+    def __init__(self, value, parent, children):
+        super().__init__()
+        self.value = value
+        self.parent = parent
+        self.children = children
+        self._pending = set(children)
+        self._acc = value
+        self._sent = False
+        self.total = None
+
+    def step(self, ctx, inbox):
+        for sender, msg in inbox.items():
+            if msg[0] == "sum":
+                self._acc += msg[1]
+                self._pending.discard(sender)
+        if not self._pending and not self._sent:
+            self._sent = True
+            self.halted = True
+            if self.parent == -1:
+                self.total = self._acc
+                return {}
+            return {self.parent: ("sum", self._acc)}
+        self.halted = not self._pending
+        return {}
+
+
+def run_convergecast_sum(adjacency, root, values):
+    """Aggregate ``sum(values)`` at ``root`` over a BFS tree."""
+    dist, parent, _ = run_bfs(adjacency, root)
+    children = {v: [] for v in parent}
+    for v, p in parent.items():
+        if p != -1:
+            children[p].append(v)
+    net = CongestNetwork(adjacency)
+    programs = {v: ConvergecastSumProgram(values[v], parent[v], children[v])
+                for v in net.nodes}
+    programs, stats = net.run(programs)
+    return programs[root].total, stats

@@ -1,0 +1,37 @@
+"""The paper's contributions: max st-flow (Thm 1.2), approximate
+st-planar flow (Thm 1.3), min st-cut (Thms 6.1/6.2), directed global
+min-cut (Thm 1.5), weighted girth (Thm 1.7)."""
+
+from repro.core.approx_maxflow import ApproxFlowResult, approx_max_st_flow
+from repro.core.flow_utils import flow_value_networkx, validate_flow
+from repro.core.girth import GirthResult, weighted_girth
+from repro.core.global_mincut import (
+    GlobalMinCutResult,
+    directed_global_mincut,
+)
+from repro.core.maxflow import MaxFlowResult, PlanarMaxFlow, max_st_flow
+from repro.core.mincut import MinCutResult, min_st_cut, verify_st_cut
+
+__all__ = [
+    "ApproxFlowResult",
+    "approx_max_st_flow",
+    "GirthResult",
+    "weighted_girth",
+    "GlobalMinCutResult",
+    "directed_global_mincut",
+    "MaxFlowResult",
+    "PlanarMaxFlow",
+    "max_st_flow",
+    "MinCutResult",
+    "min_st_cut",
+    "verify_st_cut",
+    "validate_flow",
+    "flow_value_networkx",
+]
+
+from repro.core.directed_girth import (  # noqa: E402
+    DirectedGirthResult,
+    directed_weighted_girth,
+)
+
+__all__ += ["DirectedGirthResult", "directed_weighted_girth"]

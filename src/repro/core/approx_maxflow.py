@@ -1,0 +1,231 @@
+"""(1−ε)-approximate maximum st-flow for undirected st-planar graphs
+(Theorem 1.3) and the matching approximate min st-cut (Theorem 6.2).
+
+Hassin's reduction [20]: when ``s`` and ``t`` share a face ``f``, adding
+a virtual edge ``(t, s)`` inside ``f`` splits it into ``f₁`` and ``f₂``,
+and the max-flow value equals ``dist(f₁, f₂)`` in the dual with lengths
+= capacities.  The split dual node is exactly the virtual-node feature
+of the extended minor-aggregation model (Theorem 4.14, β = 2).
+
+The SSSP is approximate ([43] substitute), so its raw distances do not
+respect the triangle inequality and cannot be used as flow potentials;
+the smoothing machinery of [41] (:mod:`repro.aggregation.smoothing`)
+repairs this, after which the potentials
+
+    φ(e) = δ(node(rev d)) − δ(node(d)),   δ = (1−ε)·d
+
+form a *feasible* flow: capacity via the per-edge smoothness
+certificate, conservation via the circulation property of face
+potentials, and value δ(f₂) ≥ (1−ε)·OPT.
+
+Zero-capacity edges are handled as in Section 6.1: contract zero-weight
+dual components (Boruvka MST in the MA model completes the tree), run
+the oracle on the minor, expand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.aggregation.smoothing import smooth_sssp, verify_smoothness
+from repro.aggregation.sssp_ma import ApproxSsspOracle
+from repro.core.flow_utils import validate_flow
+from repro.core.mincut import verify_st_cut
+from repro.errors import InfeasibleFlowError, SimulationError
+from repro.planar.graph import rev
+from repro.shortcuts.partwise import DualPartwiseHost
+
+
+@dataclass
+class ApproxFlowResult:
+    #: (1−ε)-approximate flow value (never exceeds the optimum)
+    value: float
+    #: eid -> signed flow along the stored edge direction
+    flow: dict
+    #: primal edges of a valid st-cut with capacity ≤ (1+ε)·optimum
+    cut_edge_ids: list
+    cut_capacity: float
+    eps: float
+    ma_rounds: int
+
+
+def common_face(graph, s, t):
+    """A face whose walk touches both s and t, or None."""
+    for fid, walk in enumerate(graph.faces):
+        tails = {graph.tail(d) for d in walk}
+        if s in tails and t in tails:
+            return fid
+    return None
+
+
+def split_dual(graph, s, t, f):
+    """Node set and edges of the dual with face ``f`` split into f₁/f₂
+    at one s-corner and one t-corner (Hassin's construction).
+
+    Returns ``(num_nodes, node_of_dart, f1, f2)``; f₁ carries the walk
+    darts from the s-corner to the t-corner.
+    """
+    walk = graph.faces[f]
+    pos_s = next(i for i, d in enumerate(walk) if graph.tail(d) == s)
+    pos_t = next(i for i, d in enumerate(walk) if graph.tail(d) == t)
+
+    f1 = f
+    f2 = graph.num_faces()
+
+    side = {}
+    k = len(walk)
+    i = pos_s
+    while i != pos_t:
+        side[walk[i]] = f1
+        i = (i + 1) % k
+    while i != pos_s:
+        side[walk[i]] = f2
+        i = (i + 1) % k
+
+    def node_of_dart(d):
+        fo = graph.face_of[d]
+        if fo != f:
+            return fo
+        return side[d]
+
+    return graph.num_faces() + 1, node_of_dart, f1, f2
+
+
+def approx_max_st_flow(graph, s, t, eps=0.25, seed=0, ledger=None,
+                       validate=True):
+    """Theorem 1.3 + Theorem 6.2 pipeline.
+
+    ``graph`` must be undirected-capacity planar (capacities used in
+    both directions) with s, t on a common face.
+    """
+    f = common_face(graph, s, t)
+    if f is None:
+        raise InfeasibleFlowError(
+            f"vertices {s} and {t} share no face: the graph is not "
+            f"st-planar for this pair")
+
+    host = DualPartwiseHost(graph, ledger=ledger)
+
+    num_nodes, node_of_dart, f1, f2 = split_dual(graph, s, t, f)
+    edges = []
+    weights = []
+    for eid in range(graph.m):
+        a = node_of_dart(2 * eid)
+        b = node_of_dart(2 * eid + 1)
+        edges.append((a, b))
+        weights.append(graph.capacities[eid])
+
+    # ---- zero-capacity contraction (Section 6.1) ----------------------
+    uf = list(range(num_nodes))
+
+    def find(x):
+        while uf[x] != x:
+            uf[x] = uf[uf[x]]
+            x = uf[x]
+        return x
+
+    has_zero = any(w == 0 for w in weights)
+    if has_zero:
+        for (a, b), w in zip(edges, weights):
+            if w == 0:
+                ra, rb = find(a), find(b)
+                if ra != rb:
+                    uf[ra] = rb
+        if find(f1) == find(f2):
+            # a zero-capacity cut separates nothing: max flow 0
+            return ApproxFlowResult(value=0.0, flow={}, cut_edge_ids=[
+                eid for eid in range(graph.m)
+                if graph.capacities[eid] == 0], cut_capacity=0.0,
+                eps=eps, ma_rounds=0)
+
+    quotient = {}
+    q_nodes = []
+    for v in range(num_nodes):
+        r = find(v)
+        if r not in quotient:
+            quotient[r] = len(q_nodes)
+            q_nodes.append(r)
+    q_edges = []
+    q_weights = []
+    q_eids = []
+    for eid, ((a, b), w) in enumerate(zip(edges, weights)):
+        qa, qb = quotient[find(a)], quotient[find(b)]
+        if qa == qb:
+            continue
+        q_edges.append((qa, qb))
+        q_weights.append(max(w, 1e-12))
+        q_eids.append(eid)
+
+    # ---- approximate SSSP + smoothing ----------------------------------
+    eps_oracle = eps / 4.0
+    oracle = ApproxSsspOracle(len(q_nodes), q_edges, q_weights,
+                              eps_oracle, seed=seed)
+    src = quotient[find(f1)]
+    dst = quotient[find(f2)]
+    d_q = smooth_sssp(oracle, src, eps)
+    verify_smoothness(oracle, d_q, eps)
+    if math.isinf(d_q[dst]):
+        raise SimulationError("split dual disconnected: no st-cut exists")
+
+    def d_node(v):
+        return d_q[quotient[find(v)]]
+
+    # ---- flow assignment ------------------------------------------------
+    scale = 1.0 - eps
+    delta = {v: scale * d_node(v) for v in range(num_nodes)}
+    value = delta[f2] - delta[f1]
+
+    flow = {}
+    for eid in range(graph.m):
+        a = node_of_dart(2 * eid)
+        b = node_of_dart(2 * eid + 1)
+        flow[eid] = delta[b] - delta[a]
+
+    # the sign of the imbalance at s depends on the f1/f2 naming; flip
+    # globally if the flow leaves t instead of s
+    net_s = 0.0
+    for eid, (u, v) in enumerate(graph.edges):
+        if u == s:
+            net_s -= flow[eid]
+        if v == s:
+            net_s += flow[eid]
+    if net_s > 0:
+        flow = {eid: -x for eid, x in flow.items()}
+
+    if validate:
+        validate_flow(graph, s, t, flow, abs(value), directed=False)
+
+    # ---- approximate min st-cut (Theorem 6.2) ---------------------------
+    _dist, _pw, parents = oracle.query(src, return_parents=True)
+    cut_eids = []
+    node = dst
+    guard = 0
+    while node != src:
+        if parents[node] is None:
+            raise SimulationError("no f1-f2 path for the cut")
+        prev, q_eid = parents[node]
+        cut_eids.append(q_eids[q_eid])
+        node = prev
+        guard += 1
+        if guard > len(q_nodes) + 1:
+            raise SimulationError("cut path reconstruction looped")
+    cut_capacity = sum(graph.capacities[e] for e in cut_eids)
+    if validate and not verify_st_cut(graph, s, t, cut_eids,
+                                      directed=False):
+        raise SimulationError("dual f1-f2 path did not dualize to an "
+                              "st-cut")
+
+    ma_rounds = oracle.ma_rounds_spent
+    if ledger is not None:
+        # β=2 virtual-node overhead of the split node (Theorem 4.14)
+        ledger.charge(ma_rounds * host.pa_rounds * 2,
+                      "approx-flow/ma-simulation",
+                      detail=f"{ma_rounds} MA rounds x {host.pa_rounds} "
+                             f"PA x beta=2",
+                      ref="Theorems 1.3, 4.14")
+
+    return ApproxFlowResult(value=abs(value), flow=flow,
+                            cut_edge_ids=sorted(set(cut_eids)),
+                            cut_capacity=cut_capacity, eps=eps,
+                            ma_rounds=ma_rounds)

@@ -1,0 +1,105 @@
+"""Minimum st-cut: exact directed (Theorem 6.1) and approximate
+st-planar (Theorem 6.2).
+
+Exact: run the max-flow algorithm, then find the source side of the
+residual graph.  The paper reduces residual reachability to an SSSP with
+0/∞ weights solved by the Õ(D²)-round primal SSSP of [27]; the library
+substitutes a direct reachability sweep and charges the same Õ(D²)
+(DESIGN.md §2) — the *output* (bisection + marked cut edges) is
+identical.
+
+Approximate: Reif's duality [39] — an st-separating cycle in the dual is
+an st-cut; the (1+ε)-approximate shortest f₁-to-f₂ path found by the
+Hassin pipeline closes such a cycle with the virtual dual edge, so its
+primal edges are a genuine st-cut of near-minimum capacity (the
+validity is exact; only the value is approximate).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.maxflow import PlanarMaxFlow
+from repro.errors import InfeasibleFlowError
+
+
+@dataclass
+class MinCutResult:
+    value: float
+    #: vertices on the source side
+    source_side: list
+    #: edge ids crossing the cut (directed: from side to complement)
+    cut_edge_ids: list
+    flow: dict
+
+
+def min_st_cut(graph, s, t, directed=True, leaf_size=None, ledger=None):
+    """Exact minimum st-cut (Theorem 6.1)."""
+    solver = PlanarMaxFlow(graph, directed=directed, leaf_size=leaf_size,
+                           ledger=ledger)
+    res = solver.solve(s, t)
+
+    # residual capacities per dart
+    resid = {}
+    for eid in range(graph.m):
+        x = res.flow[eid]
+        resid[2 * eid] = solver.cap[2 * eid] - x
+        resid[2 * eid + 1] = solver.cap[2 * eid + 1] + x
+
+    # source side = residual reachability from s (the R' SSSP of §6.2,
+    # charged as one more labeling-scale computation)
+    if ledger is not None:
+        ledger.charge(graph.eccentricity(s) ** 2 + 1, "mincut/residual-sssp",
+                      ref="Theorem 6.1 via [27] SSSP")
+    side = {s}
+    q = deque([s])
+    while q:
+        u = q.popleft()
+        for d in graph.rotations[u]:
+            if resid[d] > 1e-9:
+                w = graph.head(d)
+                if w not in side:
+                    side.add(w)
+                    q.append(w)
+    if t in side:
+        raise InfeasibleFlowError("sink reachable in residual graph; "
+                                  "flow was not maximum")
+
+    cut = []
+    val = 0
+    for eid, (u, v) in enumerate(graph.edges):
+        if directed:
+            if u in side and v not in side:
+                cut.append(eid)
+                val += graph.capacities[eid]
+        else:
+            if (u in side) != (v in side):
+                cut.append(eid)
+                val += graph.capacities[eid]
+    if val != res.value:
+        raise InfeasibleFlowError(
+            f"min-cut {val} does not match max-flow {res.value}")
+    return MinCutResult(value=val, source_side=sorted(side),
+                        cut_edge_ids=cut, flow=res.flow)
+
+
+def verify_st_cut(graph, s, t, cut_edge_ids, directed=True):
+    """Check that removing the cut edges disconnects t from s (in the
+    directed sense when ``directed``)."""
+    removed = set(cut_edge_ids)
+    seen = {s}
+    q = deque([s])
+    while q:
+        u = q.popleft()
+        for d in graph.rotations[u]:
+            eid = d >> 1
+            if eid in removed:
+                continue
+            if directed and (d & 1):  # dart against edge direction
+                continue
+            w = graph.head(d)
+            if w not in seen:
+                seen.add(w)
+                q.append(w)
+    return t not in seen

@@ -1,0 +1,37 @@
+"""Exception types for the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class EmbeddingError(ReproError):
+    """A rotation system is inconsistent or the graph is not planar."""
+
+
+class NotConnectedError(ReproError):
+    """An operation required a connected (sub)graph."""
+
+
+class NegativeCycleError(ReproError):
+    """A negative cycle was detected in a shortest-path computation.
+
+    The distributed algorithms report this via a global broadcast; in the
+    library it surfaces as an exception carrying the detecting bag/graph.
+    """
+
+    def __init__(self, message="negative cycle detected", where=None):
+        super().__init__(message)
+        self.where = where
+
+
+class InfeasibleFlowError(ReproError):
+    """A requested flow value is not feasible."""
+
+
+class DecompositionError(ReproError):
+    """The BDD construction violated one of its structural guarantees."""
+
+
+class SimulationError(ReproError):
+    """The CONGEST simulator was driven into an invalid state."""

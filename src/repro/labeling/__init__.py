@@ -1,0 +1,20 @@
+"""Distance labeling: dual (Section 5) and primal ([27] substrate)."""
+
+from repro.labeling.labels import Label, LabelEntry, decode_distance
+from repro.labeling.primal import (
+    PrimalDistanceLabeling,
+    decode_primal_distance,
+)
+from repro.labeling.scheme import DualDistanceLabeling
+from repro.labeling.sssp import DualSsspResult, dual_sssp
+
+__all__ = [
+    "Label",
+    "LabelEntry",
+    "decode_distance",
+    "DualDistanceLabeling",
+    "DualSsspResult",
+    "dual_sssp",
+    "PrimalDistanceLabeling",
+    "decode_primal_distance",
+]

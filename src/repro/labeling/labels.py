@@ -1,0 +1,68 @@
+"""Label data structures and decoding (Section 5.2).
+
+A label is a chain of per-bag entries, root bag first.  An internal
+entry stores, for its node ``g``, both-direction distances to every
+``F_X`` node of the bag; a leaf entry stores both-direction distances to
+*all* nodes of the leaf bag.  Decoding two labels walks the chains while
+the bag ids agree, taking the best crossing candidate
+``min_f dist(a→f) + dist(f→b)`` at every internal bag (Lemma 5.16) and
+the direct entry at an aligned leaf.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+INF = math.inf
+
+
+@dataclass
+class LabelEntry:
+    bag_id: int
+    node: int
+    is_leaf: bool
+    #: face id -> distance node -> f   (for leaf entries: all bag nodes)
+    dist_to: dict = field(default_factory=dict)
+    #: face id -> distance f -> node
+    dist_from: dict = field(default_factory=dict)
+
+    def words(self):
+        return 2 + len(self.dist_to) + len(self.dist_from)
+
+
+@dataclass
+class Label:
+    node: int
+    entries: list
+
+    def words(self):
+        return sum(e.words() for e in self.entries)
+
+    def bits(self, word_bits=32):
+        """Size in bits (Theorem 2.1 claims Õ(D))."""
+        return self.words() * word_bits
+
+
+def decode_distance(label_a, label_b):
+    """dist(a → b) in the dual graph from the two labels alone
+    (Lemma 5.16)."""
+    if label_a.node == label_b.node:
+        return 0
+    best = INF
+    for ea, eb in zip(label_a.entries, label_b.entries):
+        if ea.bag_id != eb.bag_id:
+            break
+        if ea.is_leaf:
+            cand = ea.dist_to.get(label_b.node, INF)
+            best = min(best, cand)
+            break
+        for f, d_af in ea.dist_to.items():
+            d_fb = eb.dist_from.get(f, INF)
+            if d_af + d_fb < best:
+                best = d_af + d_fb
+    return best
+
+
+def max_label_bits(labels, word_bits=32):
+    return max((lbl.bits(word_bits) for lbl in labels), default=0)

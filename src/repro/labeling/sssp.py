@@ -1,0 +1,77 @@
+"""Dual single-source shortest paths from the labels (Lemma 2.2,
+Section 5.4).
+
+Given the labeling, an SSSP from any dual node ``s`` costs one broadcast
+of ``Label(s)`` (Õ(D) words over a BFS tree of G, hence Õ(D) rounds)
+after which every vertex decodes the distance of each face containing
+it; the shortest-path tree is then marked with one part-wise aggregation
+on G* (each node keeps the incident arc minimizing
+``dist(s, f) + w(f→g)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.labeling.labels import INF, decode_distance
+from repro.planar.graph import rev
+
+
+@dataclass
+class DualSsspResult:
+    source: int
+    #: face id -> dist(s → face)
+    dist: dict
+    #: dart ids whose dual arcs form the SSSP tree (parent arcs)
+    tree_darts: set
+    #: face id -> parent dart (the arc entering it on the tree)
+    parent_dart: dict
+
+
+def dual_sssp(labeling, source, ledger=None):
+    """Shortest-path tree from dual node ``source`` in G*.
+
+    Returns a :class:`DualSsspResult`; negative cycles were already
+    rejected during labeling.
+    """
+    graph = labeling.graph
+    root = labeling.bdd.root.bag_id
+    label_s = labeling.label(source)
+
+    dist = {}
+    for f in sorted(labeling.duals[root].nodes):
+        dist[f] = decode_distance(label_s, labeling.label(f))
+
+    if ledger is not None:
+        depth = graph.eccentricity(0)
+        ledger.charge_broadcast(label_s.words(), depth,
+                                "dual-sssp/broadcast-source-label",
+                                ref="Section 5.4")
+
+    # tree marking: for every face g, the best incoming arc
+    best = {}
+    for d in graph.darts():
+        f = graph.face_of[d]
+        g = graph.face_of[rev(d)]
+        if dist.get(f, INF) is INF:
+            continue
+        cand = dist[f] + labeling.lengths[d]
+        key = (cand, d)
+        if g not in best or key < best[g]:
+            best[g] = key
+
+    tree_darts = set()
+    parent_dart = {}
+    for g, (cand, d) in best.items():
+        if g == source:
+            continue
+        if dist.get(g, INF) < INF and abs(cand - dist[g]) < 1e-9:
+            tree_darts.add(d)
+            parent_dart[g] = d
+
+    if ledger is not None:
+        ledger.charge(1, "dual-sssp/mark-tree",
+                      detail="one PA task on G*", ref="Lemma 4.9 / §5.4")
+
+    return DualSsspResult(source=source, dist=dist,
+                          tree_darts=tree_darts, parent_dart=parent_dart)

@@ -1,0 +1,15 @@
+"""Planar graph substrate: embeddings, darts, faces, duals, separators."""
+
+from repro.planar.graph import PlanarGraph, SubgraphView, rev, edge_of, is_plus
+from repro.planar.dual import DualGraph
+from repro.planar.embedding import planar_graph_from_networkx
+
+__all__ = [
+    "PlanarGraph",
+    "SubgraphView",
+    "DualGraph",
+    "planar_graph_from_networkx",
+    "rev",
+    "edge_of",
+    "is_plus",
+]

@@ -1,0 +1,66 @@
+"""Construct rotation systems for arbitrary planar graphs via networkx.
+
+The paper assumes every vertex knows a combinatorial embedding of the
+network; distributively this is computed in Õ(D) rounds by the planar
+embedding algorithm of Ghaffari and Haeupler [13].  In the library, graphs
+produced by :mod:`repro.planar.generators` come with an embedding by
+construction; for arbitrary input graphs we substitute the distributed
+embedding algorithm with ``networkx.check_planarity`` (documented in
+DESIGN.md §5) and charge Õ(D) rounds at the call sites that need it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EmbeddingError
+from repro.planar.graph import PlanarGraph
+
+
+def planar_graph_from_networkx(g, weight_attr="weight",
+                               capacity_attr="capacity"):
+    """Embed an arbitrary planar ``networkx`` graph.
+
+    Accepts an (undirected or directed) simple networkx graph; returns a
+    :class:`PlanarGraph` whose edge directions follow the iteration order
+    (for directed inputs, the stored direction).  Raises
+    :class:`EmbeddingError` if the graph is not planar.
+    """
+    import networkx as nx
+
+    und = g.to_undirected() if g.is_directed() else g
+    ok, emb = nx.check_planarity(und)
+    if not ok:
+        raise EmbeddingError("input graph is not planar")
+
+    nodes = sorted(g.nodes())
+    index = {v: i for i, v in enumerate(nodes)}
+
+    edges = []
+    weights = []
+    capacities = []
+    eid_of = {}
+    for u, v, data in g.edges(data=True):
+        eid = len(edges)
+        edges.append((index[u], index[v]))
+        weights.append(data.get(weight_attr, 1))
+        capacities.append(data.get(capacity_attr, data.get(weight_attr, 1)))
+        key = frozenset((u, v))
+        eid_of.setdefault(key, []).append((u, eid))
+
+    rotations = [[] for _ in nodes]
+    used = set()
+    for v in nodes:
+        order = list(emb.neighbors_cw_order(v)) if emb.degree(v) else []
+        for w in order:
+            key = frozenset((v, w))
+            # pick an unused parallel edge instance (simple graphs: one)
+            for stored_u, eid in eid_of[key]:
+                if (eid, v) in used:
+                    continue
+                used.add((eid, v))
+                dart = 2 * eid if edges[eid][0] == index[v] else 2 * eid + 1
+                rotations[index[v]].append(dart)
+                break
+    pg = PlanarGraph(len(nodes), edges, rotations,
+                     weights=weights, capacities=capacities)
+    pg.check_euler()
+    return pg, index

@@ -1,0 +1,331 @@
+"""Generators for embedded planar graph families.
+
+Every generator builds the rotation system directly (no planarity solver
+in the loop), and each family offers a different diameter regime, which
+is what the round-complexity experiments sweep over:
+
+=====================  =============================  ==================
+family                 n                              hop diameter D
+=====================  =============================  ==================
+``grid``               rows*cols                      rows+cols-2
+``cylinder``           rows*cols                      rows-1 + cols//2
+``ladder``             2*k                            k   (max-D family)
+``wheel``              k+1                            2   (min-D family)
+``triangulated_disk``  arbitrary                      Θ(√n)
+``random_planar``      arbitrary                      Θ(√n) typically
+``outerplanar_fan``    k                              2
+=====================  =============================  ==================
+
+Weights and capacities are assigned by ``weight_fn`` hooks or the
+``randomize_*`` helpers, always with integral polynomially-bounded values
+as the paper assumes (Section 3).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.planar.graph import PlanarGraph
+
+
+def _build(n, edges, neighbor_order):
+    """Assemble rotations from, per vertex, the desired cw neighbor order
+    given as a list of edge ids (tail implied)."""
+    rotations = [[] for _ in range(n)]
+    for v in range(n):
+        for eid in neighbor_order[v]:
+            u, w = edges[eid]
+            dart = 2 * eid if u == v else 2 * eid + 1
+            rotations[v].append(dart)
+    return PlanarGraph(n, edges, rotations)
+
+
+def grid(rows, cols):
+    """rows x cols grid, embedded in the plane.
+
+    Vertex (r, c) has id ``r*cols + c``.  Clockwise neighbor order at each
+    vertex: up, right, down, left (consistent with a planar drawing with
+    row 0 at the top).
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid needs rows, cols >= 1")
+    n = rows * cols
+
+    def vid(r, c):
+        return r * cols + c
+
+    edges = []
+    eid_of = {}
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                eid_of[(vid(r, c), vid(r, c + 1))] = len(edges)
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                eid_of[(vid(r, c), vid(r + 1, c))] = len(edges)
+                edges.append((vid(r, c), vid(r + 1, c)))
+
+    def eid(a, b):
+        return eid_of.get((a, b), eid_of.get((b, a)))
+
+    order = [[] for _ in range(n)]
+    for r in range(rows):
+        for c in range(cols):
+            v = vid(r, c)
+            cw = []
+            if r > 0:
+                cw.append(eid(v, vid(r - 1, c)))      # up
+            if c + 1 < cols:
+                cw.append(eid(v, vid(r, c + 1)))      # right
+            if r + 1 < rows:
+                cw.append(eid(v, vid(r + 1, c)))      # down
+            if c > 0:
+                cw.append(eid(v, vid(r, c - 1)))      # left
+            order[v] = cw
+    return _build(n, edges, order)
+
+
+def cylinder(rows, cols):
+    """Grid with the columns wrapped into a cycle (rows x cols tube).
+
+    Planar (it is a subgraph of the sphere grid); diameter about
+    ``rows + cols//2``.
+    """
+    if cols < 3:
+        raise ValueError("cylinder needs cols >= 3")
+    n = rows * cols
+
+    def vid(r, c):
+        return r * cols + (c % cols)
+
+    edges = []
+    eid_of = {}
+
+    def add(a, b):
+        eid_of[(a, b)] = len(edges)
+        edges.append((a, b))
+
+    for r in range(rows):
+        for c in range(cols):
+            add(vid(r, c), vid(r, c + 1))
+            if r + 1 < rows:
+                add(vid(r, c), vid(r + 1, c))
+
+    def eid(a, b):
+        return eid_of.get((a, b), eid_of.get((b, a)))
+
+    order = [[] for _ in range(n)]
+    for r in range(rows):
+        for c in range(cols):
+            v = vid(r, c)
+            cw = []
+            if r > 0:
+                cw.append(eid(v, vid(r - 1, c)))
+            cw.append(eid(v, vid(r, c + 1)))
+            if r + 1 < rows:
+                cw.append(eid(v, vid(r + 1, c)))
+            cw.append(eid(v, vid(r, c - 1)))
+            order[v] = cw
+    return _build(n, edges, order)
+
+
+def ladder(k):
+    """2 x k grid: the maximum-diameter planar family (D = k)."""
+    return grid(2, k)
+
+
+def path(k):
+    """Path on k vertices (a tree: one face; duals become self-loops)."""
+    return grid(1, k)
+
+
+def wheel(k):
+    """Wheel: a k-cycle plus a hub joined to every rim vertex (D = 2)."""
+    if k < 3:
+        raise ValueError("wheel needs k >= 3")
+    n = k + 1
+    hub = k
+    edges = []
+    rim_eid = {}
+    spoke_eid = {}
+    for i in range(k):
+        rim_eid[i] = len(edges)
+        edges.append((i, (i + 1) % k))
+    for i in range(k):
+        spoke_eid[i] = len(edges)
+        edges.append((hub, i))
+
+    order = [[] for _ in range(n)]
+    for i in range(k):
+        # at rim vertex i (cw, hub inside): next rim, spoke, prev rim
+        order[i] = [rim_eid[i], spoke_eid[i], rim_eid[(i - 1) % k]]
+    order[hub] = [spoke_eid[i] for i in range(k)]
+    return _build(n, edges, order)
+
+
+def outerplanar_fan(k):
+    """Fan: path 0-1-...-(k-2) plus vertex k-1 joined to all (D = 2)."""
+    if k < 3:
+        raise ValueError("fan needs k >= 3")
+    n = k
+    apex = k - 1
+    edges = []
+    path_eid = {}
+    spoke_eid = {}
+    for i in range(k - 2):
+        path_eid[i] = len(edges)
+        edges.append((i, i + 1))
+    for i in range(k - 1):
+        spoke_eid[i] = len(edges)
+        edges.append((apex, i))
+
+    order = [[] for _ in range(n)]
+    for i in range(k - 1):
+        cw = []
+        if i > 0:
+            cw.append(path_eid[i - 1])
+        cw.append(spoke_eid[i])
+        if i < k - 2:
+            cw.append(path_eid[i])
+        order[i] = cw
+    order[apex] = [spoke_eid[i] for i in range(k - 2, -1, -1)]
+    return _build(n, edges, order)
+
+
+def triangulated_disk(layers):
+    """Triangulated disk: Delaunay triangulation of a hexagonal-lattice
+    disk with ``layers`` rings around the center (Θ(√n) diameter).
+    """
+    if layers < 1:
+        raise ValueError("need layers >= 1")
+    import numpy as np
+    from scipy.spatial import Delaunay
+
+    pts = [(0.0, 0.0)]
+    s3 = math.sqrt(3.0) / 2.0
+    for q in range(-layers, layers + 1):
+        for r in range(-layers, layers + 1):
+            if q == 0 and r == 0:
+                continue
+            if abs(q + r) > layers:
+                continue
+            x = q + r / 2.0
+            y = r * s3
+            pts.append((x, y))
+    pts = np.array(pts)
+    tri = Delaunay(pts)
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(len(pts)))
+    for simplex in tri.simplices:
+        a, b, c = (int(x) for x in simplex)
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        g.add_edge(a, c)
+    from repro.planar.embedding import planar_graph_from_networkx
+
+    pg, _ = planar_graph_from_networkx(g)
+    return pg
+
+
+def random_planar(n, seed=0, keep=1.0):
+    """Random planar graph: Delaunay triangulation of random points,
+    optionally sparsified by keeping each non-bridging edge with
+    probability ``keep`` (the graph stays connected).
+    """
+    import numpy as np
+    from scipy.spatial import Delaunay
+
+    rng = random.Random(seed)
+    npr = np.random.default_rng(seed)
+    pts = npr.random((n, 2))
+    tri = Delaunay(pts)
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for simplex in tri.simplices:
+        a, b, c = (int(x) for x in simplex)
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        g.add_edge(a, c)
+    if not nx.is_connected(g):  # degenerate point sets
+        comps = list(nx.connected_components(g))
+        for i in range(len(comps) - 1):
+            g.add_edge(next(iter(comps[i])), next(iter(comps[i + 1])))
+    if keep < 1.0:
+        edges = list(g.edges())
+        rng.shuffle(edges)
+        for u, v in edges:
+            if rng.random() < keep:
+                continue
+            g.remove_edge(u, v)
+            if not nx.has_path(g, u, v):
+                g.add_edge(u, v)
+    from repro.planar.embedding import planar_graph_from_networkx
+
+    pg, _ = planar_graph_from_networkx(g)
+    return pg
+
+
+def randomize_weights(pg, low=1, high=20, seed=0, directed_capacities=False):
+    """Assign random integral weights/capacities in ``[low, high]``.
+
+    Returns a copy; the paper assumes polynomially-bounded integers.
+    """
+    rng = random.Random(seed)
+    w = [rng.randint(low, high) for _ in range(pg.m)]
+    c = [rng.randint(low, high) for _ in range(pg.m)] \
+        if directed_capacities else list(w)
+    return pg.copy(weights=w, capacities=c)
+
+
+def bidirect(pg, reverse_weights=None, seed=0):
+    """Double every edge with an antiparallel twin (embedded alongside).
+
+    Turns any planar digraph into a strongly-connected planar digraph —
+    the instances the directed global-min-cut experiments need.  The
+    twin of edge ``e`` gets weight ``reverse_weights[e]`` (default: a
+    fresh random weight in the same range as the originals).
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    m = pg.m
+    lo = min(pg.weights)
+    hi = max(pg.weights)
+    edges = list(pg.edges)
+    weights = list(pg.weights)
+    caps = list(pg.capacities)
+    for eid in range(m):
+        u, v = pg.edges[eid]
+        edges.append((v, u))
+        if reverse_weights is not None:
+            w = reverse_weights[eid]
+        else:
+            w = rng.randint(lo, hi)
+        weights.append(w)
+        caps.append(w)
+
+    # twin dart ids: edge m+eid has darts 2(m+eid) (v->u), 2(m+eid)+1.
+    # The twin is drawn alongside the original, so the pair appears in
+    # opposite cw order at the two endpoints.
+    rotations = [[] for _ in range(pg.n)]
+    for x in range(pg.n):
+        for d in pg.rotations[x]:
+            eid = d >> 1
+            twin = m + eid
+            u, v = pg.edges[eid]
+            twin_dart = 2 * twin if x == v else 2 * twin + 1
+            if x == u:
+                rotations[x].append(d)
+                rotations[x].append(twin_dart)
+            else:
+                rotations[x].append(twin_dart)
+                rotations[x].append(d)
+    out = PlanarGraph(pg.n, edges, rotations, weights=weights,
+                      capacities=caps)
+    out.check_euler()
+    return out

@@ -1,0 +1,319 @@
+"""Balanced fundamental-cycle separators with at most one virtual edge.
+
+This is the library's substitute for the distributed cycle-separator
+algorithm of Ghaffari and Parter [17] used inside the BDD of Li and
+Parter [27] (see DESIGN.md §5, substitution 2).  The *object* produced is
+identical to the paper's: a cycle ``S_X`` consisting of two BFS-tree paths
+plus one closing edge ``e_X`` which is either a real edge of the bag or a
+*virtual* edge drawn inside one face of the bag (the *critical* face).
+
+Construction (classical interdigitating-trees method):
+
+1. build a BFS tree ``T`` of the bag (so tree paths have length at most
+   twice the bag's BFS depth — the Õ(D) bound of BDD property 4);
+2. triangulate every face walk combinatorially by ear clipping; each
+   diagonal is a *virtual chord* between two distinct vertices on the
+   face;
+3. the duals of non-tree edges and of the chords form a spanning tree of
+   the triangulated dual (*interdigitation*; asserted at runtime);
+4. root the dual tree, compute subtree dart-weights, and pick the
+   non-tree edge / chord whose fundamental cycle is most balanced.
+
+Because the separating cycle is a closed curve that passes through the
+interior of *at most one* face (where the chosen chord lives), all other
+faces keep their darts on a single side — exactly the "few face-parts"
+behaviour (Lemma 5.3) that the dual decomposition relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecompositionError, NotConnectedError
+from repro.planar.graph import rev
+
+
+@dataclass
+class SeparatorResult:
+    """Output of :func:`fundamental_cycle_separator`."""
+
+    #: vertices of the cycle, in path order u .. lca .. v (endpoints of e_X)
+    cycle_vertices: list
+    #: real edge ids of the two tree paths composing the cycle
+    cycle_edge_ids: list
+    #: endpoints of the closing edge e_X
+    chord_endpoints: tuple
+    #: True when e_X is a virtual edge (not an edge of the bag)
+    chord_virtual: bool
+    #: edge id of e_X when it is a real edge
+    chord_eid: int
+    #: view-face id inside which a virtual e_X is embedded
+    critical_view_face: int
+    #: darts of the view strictly enclosed by the cycle
+    inside_darts: set
+    #: darts of the view strictly outside
+    outside_darts: set
+    #: max(|inside|, |outside|) / total darts
+    balance: float
+    #: BFS tree used (dict vertex -> parent dart)
+    tree_parent: dict = field(repr=False, default=None)
+    #: depth of the BFS tree
+    tree_depth: int = 0
+
+
+def _ear_clip(face_darts, tails):
+    """Triangulate one face walk by ear clipping.
+
+    Parameters: the dart list of the face and ``tails[i] = tail of dart i``.
+    Returns ``(num_triangles, triangle_of_dart, chords)`` where
+    ``triangle_of_dart`` maps each dart of the walk to a local triangle
+    index and ``chords`` is a list of
+    ``(u, v, triangle_a, triangle_b)`` tuples — the two triangles on
+    either side of each diagonal.
+    """
+    k = len(face_darts)
+    if k <= 2:
+        return 1, {d: 0 for d in face_darts}, []
+
+    # sides: ("dart", d) or ("chord", chord_index)
+    sides = [("dart", d) for d in face_darts]
+    occ = list(tails)           # occ[i] = vertex before side i
+    triangle_of_dart = {}
+    chords = []                 # [u, v, tri_a, tri_b]
+    chord_owner = {}            # chord idx -> first owning triangle
+    num_tri = 0
+
+    def settle_side(side, tri):
+        kind, val = side
+        if kind == "dart":
+            triangle_of_dart[val] = tri
+        else:
+            if val in chord_owner:
+                chords[val][3] = tri
+            else:
+                chord_owner[val] = tri
+                chords[val][2] = tri
+
+    # Clip ears at occurrences 1..len-1 only (avoids wrap-around index
+    # bookkeeping; those corners always suffice for simple-graph walks).
+    i = 1
+    stuck = 0
+    while len(sides) > 3:
+        kk = len(sides)
+        if i >= kk:
+            i = 1
+        a = occ[i - 1]
+        b = occ[(i + 1) % kk]
+        if a == b:
+            i += 1
+            stuck += 1
+            if stuck > kk + 1:
+                raise DecompositionError(
+                    "ear clipping stuck: face walk alternates between two "
+                    "vertices (parallel edges in a supposedly simple bag)")
+            continue
+        stuck = 0
+        tri = num_tri
+        num_tri += 1
+        settle_side(sides[i - 1], tri)
+        settle_side(sides[i], tri)
+        cidx = len(chords)
+        chords.append([a, b, tri, -1])
+        chord_owner[cidx] = tri
+        sides[i - 1:i + 1] = [("chord", cidx)]
+        occ.pop(i)
+        i = max(i - 1, 1)
+
+    tri = num_tri
+    num_tri += 1
+    for side in sides:
+        settle_side(side, tri)
+    fixed = [(u, v, ta, tb) for (u, v, ta, tb) in chords]
+    return num_tri, triangle_of_dart, fixed
+
+
+def fundamental_cycle_separator(view, dart_weights=None, root=None):
+    """Compute a balanced cycle separator of a connected subgraph view.
+
+    ``dart_weights``: optional map dart -> weight for the balance
+    criterion (defaults to 1 per live dart).  ``root``: BFS root.
+    Returns a :class:`SeparatorResult`.
+    """
+    if view.m == 0:
+        raise NotConnectedError("empty view")
+    verts = list(view.vertices)
+    if root is None:
+        root = verts[0]
+    dist, parent = view.bfs(root)
+    if len(dist) != len(verts):
+        raise NotConnectedError("view is not connected")
+    depth = max(dist.values())
+    tree_edges = {d >> 1 for d in parent.values() if d != -1}
+
+    # --- triangulate all faces, build triangle table --------------------
+    tri_base = []               # global triangle id base per face
+    tri_of_dart = {}
+    all_chords = []             # (u, v, gtri_a, gtri_b, view_face_id)
+    total_tris = 0
+    for fid, fdarts in enumerate(view.faces):
+        tails = [view.tail(d) for d in fdarts]
+        ntri, tod, chords = _ear_clip(list(fdarts), tails)
+        tri_base.append(total_tris)
+        for d, t in tod.items():
+            tri_of_dart[d] = total_tris + t
+        for (u, v, ta, tb) in chords:
+            all_chords.append((u, v, total_tris + ta, total_tris + tb, fid))
+        total_tris += ntri
+
+    # --- dual tree: chords + duals of non-tree edges --------------------
+    # candidate id: ("chord", idx) or ("edge", eid)
+    dual_adj = [[] for _ in range(total_tris)]
+    candidates = []
+    for idx, (u, v, ta, tb, fid) in enumerate(all_chords):
+        cid = len(candidates)
+        candidates.append(("chord", idx))
+        dual_adj[ta].append((tb, cid))
+        dual_adj[tb].append((ta, cid))
+    for eid in view.edge_ids:
+        if eid in tree_edges:
+            continue
+        ta = tri_of_dart[2 * eid]
+        tb = tri_of_dart[2 * eid + 1]
+        cid = len(candidates)
+        candidates.append(("edge", eid))
+        dual_adj[ta].append((tb, cid))
+        dual_adj[tb].append((ta, cid))
+
+    if len(candidates) != total_tris - 1:
+        raise DecompositionError(
+            f"interdigitating dual graph is not a tree: {total_tris} "
+            f"triangles vs {len(candidates)} dual edges")
+
+    # --- subtree weights -------------------------------------------------
+    if dart_weights is None:
+        tri_weight = [0.0] * total_tris
+        for d in view.darts():
+            tri_weight[tri_of_dart[d]] += 1.0
+        total_weight = float(2 * view.m)
+    else:
+        tri_weight = [0.0] * total_tris
+        total_weight = 0.0
+        for d in view.darts():
+            w = dart_weights.get(d, 0.0)
+            tri_weight[tri_of_dart[d]] += w
+            total_weight += w
+
+    # root the dual tree at the triangle of the first dart of the largest
+    # face (a stand-in for the outer face; any choice is sound).
+    outer_face = max(range(len(view.faces)), key=lambda f: len(view.faces[f]))
+    dual_root = tri_of_dart[view.faces[outer_face][0]]
+
+    order = []                  # DFS preorder
+    par = [(-1, -1)] * total_tris   # (parent tri, candidate id)
+    seen = [False] * total_tris
+    stack = [dual_root]
+    seen[dual_root] = True
+    while stack:
+        t = stack.pop()
+        order.append(t)
+        for (t2, cid) in dual_adj[t]:
+            if not seen[t2]:
+                seen[t2] = True
+                par[t2] = (t, cid)
+                stack.append(t2)
+    if not all(seen):
+        raise DecompositionError("dual tree is disconnected")
+
+    sub = list(tri_weight)
+    for t in reversed(order):
+        pt, _ = par[t]
+        if pt != -1:
+            sub[pt] += sub[t]
+
+    # --- choose the most balanced candidate -----------------------------
+    best = None
+    for t in range(total_tris):
+        pt, cid = par[t]
+        if pt == -1:
+            continue
+        inside = sub[t]
+        score = max(inside, total_weight - inside)
+        if best is None or score < best[0]:
+            best = (score, cid, t)
+    if best is None:
+        raise DecompositionError("no separator candidate (single triangle)")
+    score, cid, sub_root = best
+    kind, val = candidates[cid]
+
+    if kind == "chord":
+        u, v, _ta, _tb, crit_face = all_chords[val]
+        chord_virtual = True
+        chord_eid = -1
+    else:
+        eid = val
+        u, v = view.parent.edges[eid]
+        chord_virtual = False
+        chord_eid = eid
+        crit_face = -1
+
+    # --- tree path u -> lca -> v ----------------------------------------
+    def path_to_root(x):
+        p = [x]
+        while parent[x] != -1:
+            x = view.tail(parent[x])
+            p.append(x)
+        return p
+
+    pu = path_to_root(u)
+    pv = path_to_root(v)
+    su = set(pu)
+    lca = next(x for x in pv if x in su)
+    path_u = pu[:pu.index(lca) + 1]
+    path_v = pv[:pv.index(lca) + 1]
+    cycle_vertices = path_u + path_v[-2::-1]  # u..lca..v (v last)
+
+    cycle_edge_ids = []
+    for x in path_u[:-1]:
+        cycle_edge_ids.append(parent[x] >> 1)
+    for x in path_v[:-1]:
+        cycle_edge_ids.append(parent[x] >> 1)
+
+    # --- dart sides -------------------------------------------------------
+    in_sub = [False] * total_tris
+    stack = [sub_root]
+    in_sub[sub_root] = True
+    while stack:
+        t = stack.pop()
+        for (t2, cid2) in dual_adj[t]:
+            if not in_sub[t2] and par[t2] == (t, cid2):
+                in_sub[t2] = True
+                stack.append(t2)
+    inside_darts = {d for d in view.darts() if in_sub[tri_of_dart[d]]}
+    outside_darts = {d for d in view.darts() if not in_sub[tri_of_dart[d]]}
+
+    # sanity: non-cycle edges keep both darts on one side
+    cyc = set(cycle_edge_ids)
+    if not chord_virtual:
+        cyc.add(chord_eid)
+    for eid in view.edge_ids:
+        if eid in cyc:
+            continue
+        a = (2 * eid) in inside_darts
+        b = (2 * eid + 1) in inside_darts
+        if a != b:
+            raise DecompositionError(
+                f"edge {eid} off the cycle has darts on both sides")
+
+    return SeparatorResult(
+        cycle_vertices=cycle_vertices,
+        cycle_edge_ids=cycle_edge_ids,
+        chord_endpoints=(u, v),
+        chord_virtual=chord_virtual,
+        chord_eid=chord_eid,
+        critical_view_face=crit_face,
+        inside_darts=inside_darts,
+        outside_darts=outside_darts,
+        balance=score / total_weight if total_weight else 1.0,
+        tree_parent=parent,
+        tree_depth=depth,
+    )

@@ -1,0 +1,13 @@
+"""Low-congestion shortcuts and part-wise aggregation."""
+
+from repro.shortcuts.lowcong import Shortcuts, ShortcutQuality, \
+    build_steiner_shortcuts
+from repro.shortcuts.partwise import DualPartwiseHost, partwise_aggregate
+
+__all__ = [
+    "Shortcuts",
+    "ShortcutQuality",
+    "build_steiner_shortcuts",
+    "DualPartwiseHost",
+    "partwise_aggregate",
+]

@@ -1,0 +1,138 @@
+"""Part-wise aggregation (Definition 4.4) on a host graph and on G*.
+
+``partwise_aggregate`` solves the PA problem over a partition of a host
+graph, charging the ledger the measured shortcut cost (Lemma 4.5,
+Corollary 4.6).  :class:`DualPartwiseHost` lifts this to the dual graph
+``G*`` through the face-disjoint graph Ĝ exactly as Lemma 4.9 describes:
+a partition of dual nodes induces a partition of Ĝ into the corresponding
+face cycles; node inputs live at face leaders; edge inputs live at the
+E_C endpoints.
+"""
+
+from __future__ import annotations
+
+from repro.planar.dual import DualGraph
+from repro.planar.face_disjoint import FaceDisjointGraph
+from repro.shortcuts.lowcong import build_steiner_shortcuts
+
+#: constant CONGEST overhead of simulating a Ĝ round on G (Property 3)
+GHAT_OVERHEAD = 2
+
+
+def fold(op, values, identity=None):
+    """Fold an aggregation operator over an iterable (Definition 4.3)."""
+    acc = identity
+    for v in values:
+        acc = v if acc is None else op(acc, v)
+    return acc
+
+
+def partwise_aggregate(adj, parts, inputs, op, ledger=None,
+                       phase="pa", identity=None, shortcuts=None):
+    """Solve the PA problem on host ``adj`` for vertex-disjoint connected
+    ``parts``.
+
+    ``inputs``: dict vertex -> value (vertices without input contribute
+    nothing).  Returns list of per-part aggregates and the shortcuts used
+    (for cost inspection).  Charges ``congestion + dilation`` rounds
+    (Lemma 4.5) plus the construction BFS.
+    """
+    if shortcuts is None:
+        shortcuts = build_steiner_shortcuts(adj, parts)
+        if ledger is not None:
+            ledger.charge_bfs(shortcuts.quality.tree_depth + 1,
+                              f"{phase}/shortcut-construction",
+                              ref="Lemma 4.5")
+    out = []
+    for s in parts:
+        vals = (inputs[v] for v in s if v in inputs)
+        out.append(fold(op, vals, identity))
+    if ledger is not None:
+        ledger.charge(shortcuts.quality.pa_rounds, f"{phase}/aggregate",
+                      detail=f"congestion={shortcuts.quality.congestion} "
+                             f"dilation={shortcuts.quality.dilation}",
+                      ref="Lemma 4.5 / Corollary 4.6")
+    return out, shortcuts
+
+
+class DualPartwiseHost:
+    """Part-wise aggregation on the dual graph G* via Ĝ (Lemma 4.9).
+
+    Constructed once per primal graph; the canonical partition (every
+    dual node its own part) is measured at construction time and defines
+    ``pa_rounds``, the CONGEST cost charged per PA task — and hence per
+    minor-aggregation round (Theorem 4.10).
+    """
+
+    def __init__(self, primal, ledger=None):
+        self.primal = primal
+        self.ledger = ledger
+        self.g_hat = FaceDisjointGraph(primal)
+        self.dual = DualGraph(primal)
+        if ledger is not None:
+            ledger.charge(1, "dual-pa/build-ghat", ref="Ĝ Property 1")
+
+        # canonical partition: one part per face cycle of Ĝ
+        faces = list(range(primal.num_faces()))
+        parts = [self.g_hat.face_cycle_vertices(f) for f in faces]
+        self._canonical = build_steiner_shortcuts(self.g_hat.adj, parts)
+        if ledger is not None:
+            ledger.charge_bfs(self._canonical.quality.tree_depth + 1,
+                              "dual-pa/shortcut-construction",
+                              ref="Lemma 4.9")
+
+    @property
+    def pa_rounds(self):
+        """Measured CONGEST rounds of one PA task on G* (Lemma 4.9):
+        shortcut congestion+dilation on Ĝ times the Ĝ→G overhead."""
+        return GHAT_OVERHEAD * max(1, self._canonical.quality.pa_rounds)
+
+    def aggregate_node_inputs(self, node_parts, node_inputs, op,
+                              phase="dual-pa", identity=None):
+        """PA over dual-node inputs.
+
+        ``node_parts``: list of lists of face ids (each part connected in
+        G*); ``node_inputs``: dict face id -> value.  Returns list of
+        per-part aggregates.
+        """
+        out = []
+        for part in node_parts:
+            vals = (node_inputs[f] for f in part if f in node_inputs)
+            out.append(fold(op, vals, identity))
+        if self.ledger is not None:
+            self.ledger.charge(self.pa_rounds, f"{phase}/nodes",
+                               ref="Lemma 4.9")
+        return out
+
+    def aggregate_edge_inputs(self, node_parts, edge_inputs, op,
+                              outgoing=False, phase="dual-pa",
+                              identity=None):
+        """PA over dual-edge inputs.
+
+        ``edge_inputs``: dict primal edge id -> value (the dual edge's
+        input, known at its E_C endpoints).  With ``outgoing=False`` a
+        part aggregates over dual edges with both endpoints inside it;
+        with ``outgoing=True`` over edges leaving the part — the variant
+        Lemma 4.9 adds over [17].
+        """
+        part_of = {}
+        for i, part in enumerate(node_parts):
+            for f in part:
+                part_of[f] = i
+        buckets = [[] for _ in node_parts]
+        for eid, val in edge_inputs.items():
+            f = self.primal.face_of[2 * eid]
+            g = self.primal.face_of[2 * eid + 1]
+            pf, pg = part_of.get(f), part_of.get(g)
+            if outgoing:
+                if pf is not None and pf != pg:
+                    buckets[pf].append(val)
+                if pg is not None and pg != pf:
+                    buckets[pg].append(val)
+            else:
+                if pf is not None and pf == pg:
+                    buckets[pf].append(val)
+        if self.ledger is not None:
+            self.ledger.charge(self.pa_rounds, f"{phase}/edges",
+                               ref="Lemma 4.9")
+        return [fold(op, b, identity) for b in buckets]

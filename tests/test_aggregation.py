@@ -1,0 +1,272 @@
+"""Tests for the minor-aggregation model stack."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.aggregation import (
+    ApproxSsspOracle,
+    DualMAHost,
+    MinorAggregationGraph,
+    boruvka_mst,
+    deactivate_parallel_edges,
+    low_outdegree_orientation,
+    minor_aggregate_mincut,
+    smooth_sssp,
+)
+from repro.aggregation.smoothing import smoothness_defect, verify_smoothness
+from repro.aggregation.subtree import ancestor_path_sums, subtree_sums
+from repro.congest import RoundLedger
+from repro.errors import SimulationError
+from repro.planar.generators import grid, random_planar, randomize_weights
+
+
+def small_ma():
+    # square with a diagonal
+    nodes = [0, 1, 2, 3]
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+    weights = [1, 2, 3, 4, 5]
+    return MinorAggregationGraph(nodes, edges, weights=weights)
+
+
+class TestModel:
+    def test_contract_merges(self):
+        ma = small_ma()
+        ma.contract({0: True})
+        assert ma.find(0) == ma.find(1)
+        assert ma.find(2) != ma.find(0)
+        assert len(ma.supernode_members()) == 3
+
+    def test_consensus(self):
+        ma = small_ma()
+        ma.contract({0: True, 2: True})  # {0,1}, {2,3}
+        vals = ma.consensus({0: 5, 1: 7, 2: 1, 3: 2}, max)
+        assert vals[0] == vals[1] == 7
+        assert vals[2] == vals[3] == 2
+
+    def test_aggregate_skips_internal_edges(self):
+        ma = small_ma()
+        ma.contract({0: True})  # merge 0,1
+        seen = []
+
+        def edge_fn(e, ru, rv):
+            seen.append(e.eid)
+            return 1, 1
+
+        out = ma.aggregate(edge_fn, lambda a, b: a + b)
+        assert 0 not in seen  # edge (0,1) is internal now
+        # node {0,1} is incident to edges 1 (1-2), 3 (3-0), 4 (0-2)
+        assert out[0] == 3
+
+    def test_rounds_counted(self):
+        ma = small_ma()
+        assert ma.ma_rounds == 0
+        ma.contract({})
+        ma.consensus({}, min)
+        ma.aggregate(lambda e, a, b: None, min)
+        assert ma.ma_rounds == 3
+
+    def test_virtual_nodes(self):
+        ma = small_ma()
+        new_edges = ma.add_virtual_node("s*", [0, 2], weights=[10, 20])
+        assert len(new_edges) == 2
+        assert ma.virtual_overhead == 1
+        vals = ma.consensus({"s*": 1, 0: 2}, lambda a, b: a + b)
+        assert vals["s*"] == 1
+
+    def test_duplicate_virtual_rejected(self):
+        ma = small_ma()
+        with pytest.raises(SimulationError):
+            ma.add_virtual_node(0, [1])
+
+
+class TestBoruvka:
+    def test_mst_matches_networkx(self):
+        for seed in range(5):
+            rng = random.Random(seed)
+            g = randomize_weights(random_planar(30, seed=seed), seed=seed)
+            ma = MinorAggregationGraph(list(range(g.n)), g.edges,
+                                       weights=g.weights)
+            tree = boruvka_mst(ma)
+            w_ours = sum(g.weights[e] for e in tree)
+            nxg = nx.Graph()
+            for eid, (u, v) in enumerate(g.edges):
+                if nxg.has_edge(u, v):
+                    nxg[u][v]["weight"] = min(nxg[u][v]["weight"],
+                                              g.weights[eid])
+                else:
+                    nxg.add_edge(u, v, weight=g.weights[eid])
+            w_ref = sum(d["weight"] for _u, _v, d in
+                        nx.minimum_spanning_edges(nxg, data=True))
+            assert w_ours == w_ref
+            assert len(tree) == g.n - 1
+
+    def test_ma_round_budget_logarithmic(self):
+        g = random_planar(100, seed=1)
+        ma = MinorAggregationGraph(list(range(g.n)), g.edges)
+        boruvka_mst(ma)
+        # 2 MA rounds per Boruvka phase, O(log n) phases
+        assert ma.ma_rounds <= 4 * math.ceil(math.log2(g.n)) + 4
+
+    def test_forbidden_edges(self):
+        ma = small_ma()
+        tree = boruvka_mst(ma, forbidden={0})
+        assert 0 not in tree
+        assert len(tree) == 3
+
+
+class TestOrientation:
+    def test_orientation_low_outdegree(self):
+        g = random_planar(60, seed=2)
+        ma = MinorAggregationGraph(list(range(g.n)), g.edges)
+        _phase, oriented = low_outdegree_orientation(ma)
+        outdeg = {}
+        for eid, (t, h) in oriented.items():
+            outdeg.setdefault(t, set()).add(h)
+        assert max(len(s) for s in outdeg.values()) <= 9  # 3 * arboricity
+
+    def test_deactivate_parallel(self):
+        nodes = [0, 1, 2]
+        edges = [(0, 1), (0, 1), (1, 2), (2, 2)]
+        weights = [3, 4, 5, 9]
+        ma = MinorAggregationGraph(nodes, edges, weights=weights)
+        rep = deactivate_parallel_edges(ma, lambda a, b: a + b)
+        active = ma.active_edges()
+        assert len(active) == 2  # self-loop gone, bundle collapsed
+        bundle_edge = next(e for e in active if {e.u, e.v} == {0, 1})
+        assert bundle_edge.weight == 7
+        assert sorted(rep[bundle_edge.eid]) == [0, 1]
+
+    def test_deactivate_min_operator(self):
+        nodes = [0, 1]
+        edges = [(0, 1), (0, 1), (0, 1)]
+        ma = MinorAggregationGraph(nodes, edges, weights=[5, 2, 8])
+        deactivate_parallel_edges(ma, min)
+        active = ma.active_edges()
+        assert len(active) == 1
+        assert active[0].weight == 2
+
+
+class TestMincut:
+    def ref_mincut(self, edges, weights, n):
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(n))
+        for eid, (u, v) in enumerate(edges):
+            if u == v:
+                continue
+            if nxg.has_edge(u, v):
+                nxg[u][v]["weight"] += weights[eid]
+            else:
+                nxg.add_edge(u, v, weight=weights[eid])
+        return nx.stoer_wagner(nxg)[0]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_stoer_wagner(self, seed):
+        g = randomize_weights(random_planar(24 + seed, seed=seed),
+                              seed=seed + 100)
+        res = minor_aggregate_mincut(list(range(g.n)), g.edges, g.weights)
+        ref = self.ref_mincut(g.edges, g.weights, g.n)
+        assert res.value == ref
+
+    def test_cut_edges_consistent(self):
+        g = randomize_weights(random_planar(30, seed=7), seed=7)
+        res = minor_aggregate_mincut(list(range(g.n)), g.edges, g.weights)
+        assert sum(g.weights[e] for e in res.cut_edge_ids) == res.value
+        side = set(res.side_nodes)
+        assert 0 < len(side) < g.n
+        for eid in res.cut_edge_ids:
+            u, v = g.edges[eid]
+            assert (u in side) != (v in side)
+
+    def test_unbalanced_cut_found(self):
+        # a pendant vertex with a light edge is the min cut
+        nodes = list(range(5))
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3), (2, 4)]
+        weights = [10, 10, 10, 10, 10, 10, 1]
+        res = minor_aggregate_mincut(nodes, edges, weights)
+        assert res.value == 1
+        assert res.cut_edge_ids == [6]
+
+
+class TestSubtreePrimitives:
+    def test_subtree_sums(self):
+        ma = MinorAggregationGraph([0, 1, 2, 3, 4],
+                                   [(0, 1), (1, 2), (1, 3), (0, 4)])
+        out = subtree_sums(ma, [(0, 1), (1, 2), (1, 3), (0, 4)], 0,
+                           {v: 1 for v in range(5)})
+        assert out[0] == 5
+        assert out[1] == 3
+        assert out[4] == 1
+
+    def test_ancestor_path_sums(self):
+        ma = MinorAggregationGraph([0, 1, 2, 3],
+                                   [(0, 1), (1, 2), (2, 3)])
+        out = ancestor_path_sums(ma, [(0, 1), (1, 2), (2, 3)], 0,
+                                 {(0, 1): 5, (1, 2): 7, (2, 3): 2})
+        assert out == {0: 0, 1: 5, 2: 12, 3: 14}
+
+
+class TestApproxSsspAndSmoothing:
+    def build(self, seed, eps):
+        g = randomize_weights(random_planar(40, seed=seed), seed=seed)
+        oracle = ApproxSsspOracle(g.n, g.edges, g.weights, eps, seed=seed)
+        nxg = nx.Graph()
+        for eid, (u, v) in enumerate(g.edges):
+            if nxg.has_edge(u, v):
+                nxg[u][v]["weight"] = min(nxg[u][v]["weight"],
+                                          g.weights[eid])
+            else:
+                nxg.add_edge(u, v, weight=g.weights[eid])
+        exact = nx.single_source_dijkstra_path_length(nxg, 0)
+        return g, oracle, exact
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_oracle_contract(self, seed):
+        eps = 0.1
+        g, oracle, exact = self.build(seed, eps)
+        d, _ = oracle.query(0)
+        for v in range(g.n):
+            assert exact[v] <= d[v] + 1e-9
+            assert d[v] <= (1 + eps) * exact[v] + 1e-9
+
+    def test_oracle_rounds_charged(self):
+        g, oracle, _ = self.build(0, 0.25)
+        before = oracle.ma_rounds_spent
+        oracle.query(0)
+        assert oracle.ma_rounds_spent > before
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_smoothing_gives_smooth_valid_estimates(self, seed):
+        eps = 0.2
+        g, oracle, exact = self.build(seed, eps)
+        d = smooth_sssp(oracle, 0, eps)
+        verify_smoothness(oracle, d, eps)
+        for v in range(g.n):
+            assert exact[v] <= d[v] + 1e-9
+            assert d[v] <= (1 + eps) * exact[v] + 1e-9
+
+    def test_defect_diagnostic(self):
+        g, oracle, _ = self.build(1, 0.3)
+        d, _ = oracle.query(0)
+        assert smoothness_defect(g.edges, g.weights, d) >= 0
+
+
+class TestDualHost:
+    def test_ma_graph_over_faces(self):
+        led = RoundLedger()
+        host = DualMAHost(grid(3, 3), ledger=led)
+        ma = host.ma_graph()
+        assert len(ma.nodes) == host.primal.num_faces()
+        assert len(ma.edges) == host.primal.m
+
+    def test_charge_converts_ma_rounds(self):
+        led = RoundLedger()
+        host = DualMAHost(grid(3, 3), ledger=led)
+        ma = host.ma_graph()
+        ma.consensus({}, min)
+        before = led.total()
+        host.charge(ma, "test")
+        assert led.total() >= before + host.pa_rounds
+        assert ma.ma_rounds == 0

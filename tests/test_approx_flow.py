@@ -1,0 +1,113 @@
+"""Tests for the approximate st-planar max-flow (Theorem 1.3) and the
+approximate min st-cut (Theorem 6.2)."""
+
+import pytest
+
+from repro.congest import RoundLedger
+from repro.core import (
+    approx_max_st_flow,
+    flow_value_networkx,
+    validate_flow,
+    verify_st_cut,
+)
+from repro.core.approx_maxflow import common_face, split_dual
+from repro.errors import InfeasibleFlowError
+from repro.planar.generators import (
+    cylinder,
+    grid,
+    outerplanar_fan,
+    randomize_weights,
+)
+
+
+class TestCommonFace:
+    def test_grid_corners_share_outer_face(self):
+        g = grid(4, 5)
+        assert common_face(g, 0, g.n - 1) is not None
+
+    def test_grid_interior_pair_shares_inner_face(self):
+        g = grid(3, 3)
+        f = common_face(g, 0, 4)
+        assert f is not None
+
+    def test_no_common_face(self):
+        g = grid(5, 5)
+        # center and corner of a 5x5 grid share no face
+        assert common_face(g, 12, 0) is None
+
+    def test_split_assigns_every_dart(self):
+        g = grid(4, 4)
+        f = common_face(g, 0, 15)
+        num_nodes, node_of, f1, f2 = split_dual(g, 0, 15, f)
+        assert num_nodes == g.num_faces() + 1
+        sides = {node_of(d) for d in g.faces[f]}
+        assert sides == {f1, f2}
+
+
+class TestApproxValue:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_value_within_eps(self, seed):
+        eps = 0.2
+        g = randomize_weights(grid(5, 6), seed=seed)
+        s, t = 0, g.n - 1
+        ref = flow_value_networkx(g, s, t, directed=False)
+        res = approx_max_st_flow(g, s, t, eps=eps, seed=seed)
+        assert res.value <= ref + 1e-9
+        assert res.value >= (1 - 2 * eps) * ref
+
+    def test_tighter_eps_tighter_value(self):
+        g = randomize_weights(grid(4, 6), seed=5)
+        ref = flow_value_networkx(g, 0, g.n - 1, directed=False)
+        loose = approx_max_st_flow(g, 0, g.n - 1, eps=0.4, seed=1)
+        tight = approx_max_st_flow(g, 0, g.n - 1, eps=0.05, seed=1)
+        assert tight.value >= (1 - 0.12) * ref
+        assert loose.value <= ref + 1e-9
+
+    def test_fan_instance(self):
+        g = randomize_weights(outerplanar_fan(9), seed=2)
+        # all vertices on the outer face: any pair works
+        ref = flow_value_networkx(g, 0, 5, directed=False)
+        res = approx_max_st_flow(g, 0, 5, eps=0.25, seed=3)
+        assert (1 - 0.5) * ref <= res.value <= ref + 1e-9
+
+    def test_rejects_non_st_planar_pair(self):
+        g = grid(5, 5)
+        with pytest.raises(InfeasibleFlowError):
+            approx_max_st_flow(g, 12, 0)
+
+
+class TestApproxAssignment:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_assignment_feasible(self, seed):
+        g = randomize_weights(grid(4, 7), seed=seed)
+        res = approx_max_st_flow(g, 0, g.n - 1, eps=0.3, seed=seed,
+                                 validate=False)
+        validate_flow(g, 0, g.n - 1, res.flow, res.value, directed=False)
+
+    def test_cylinder(self):
+        g = randomize_weights(cylinder(3, 6), seed=4)
+        s, t = 0, 5  # same rim => same face
+        f = common_face(g, s, t)
+        if f is None:
+            pytest.skip("rim pair not co-facial in this embedding")
+        res = approx_max_st_flow(g, s, t, eps=0.25, seed=4)
+        validate_flow(g, s, t, res.flow, res.value, directed=False)
+
+
+class TestApproxCut:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cut_valid_and_near_optimal(self, seed):
+        eps = 0.2
+        g = randomize_weights(grid(5, 5), seed=seed)
+        s, t = 0, g.n - 1
+        ref = flow_value_networkx(g, s, t, directed=False)
+        res = approx_max_st_flow(g, s, t, eps=eps, seed=seed)
+        assert verify_st_cut(g, s, t, res.cut_edge_ids, directed=False)
+        assert res.cut_capacity >= ref - 1e-9          # cuts upper-bound
+        assert res.cut_capacity <= (1 + 2 * eps) * ref  # near-optimal
+
+    def test_rounds_charged(self):
+        led = RoundLedger()
+        g = randomize_weights(grid(4, 4), seed=1)
+        approx_max_st_flow(g, 0, 15, eps=0.3, seed=1, ledger=led)
+        assert any("approx-flow" in k for k in led.by_phase())

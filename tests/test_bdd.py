@@ -1,0 +1,161 @@
+"""Tests for the bounded-diameter decomposition and dual bags."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import build_all_dual_bags, build_bdd, build_dual_bag, \
+    validate_bdd
+from repro.congest import RoundLedger
+from repro.planar.generators import (
+    cylinder,
+    grid,
+    outerplanar_fan,
+    random_planar,
+    triangulated_disk,
+    wheel,
+)
+from repro.planar.graph import rev
+
+
+@pytest.fixture(params=[
+    ("grid66", lambda: grid(6, 6), 12),
+    ("grid312", lambda: grid(3, 12), 10),
+    ("cyl", lambda: cylinder(4, 8), 12),
+    ("rand", lambda: random_planar(70, seed=4), 16),
+    ("disk", lambda: triangulated_disk(4), 16),
+    ("sparse", lambda: random_planar(60, seed=11, keep=0.75), 14),
+])
+def decomposition(request):
+    _name, maker, leaf = request.param
+    g = maker()
+    bdd = build_bdd(g, leaf_size=leaf)
+    return g, bdd
+
+
+class TestBddStructure:
+    def test_validates(self, decomposition):
+        g, bdd = decomposition
+        report = validate_bdd(bdd)
+        assert report.depth >= 1
+        assert report.max_face_parts >= 0
+
+    def test_root_is_graph(self, decomposition):
+        g, bdd = decomposition
+        assert set(bdd.root.edge_ids) == set(range(g.m))
+
+    def test_leaves_small(self, decomposition):
+        g, bdd = decomposition
+        for leaf in bdd.leaf_bags():
+            assert leaf.m <= 2 * bdd.leaf_size + 4
+
+    def test_children_shrink(self, decomposition):
+        g, bdd = decomposition
+        for bag in bdd.bags:
+            for c in bag.children:
+                assert c.m < bag.m
+
+    def test_bags_connected(self, decomposition):
+        g, bdd = decomposition
+        for bag in bdd.bags:
+            assert bag.view().is_connected()
+
+    def test_dart_partition_per_level(self, decomposition):
+        g, bdd = decomposition
+        # every dart of G is live in exactly one deepest bag covering it
+        for bag in bdd.bags:
+            if bag.is_leaf:
+                continue
+            union = set()
+            for c in bag.children:
+                assert not (union & set(c.live_darts))
+                union |= set(c.live_darts)
+            assert union == set(bag.live_darts)
+
+    def test_separator_recorded(self, decomposition):
+        g, bdd = decomposition
+        for bag in bdd.bags:
+            if bag.is_leaf:
+                continue
+            assert bag.sx_vertices
+            assert bag.ex_endpoints is not None
+            u, v = bag.ex_endpoints
+            assert {bag.sx_vertices[0], bag.sx_vertices[-1]} == {u, v}
+
+    def test_ledger_charged(self):
+        led = RoundLedger()
+        build_bdd(grid(6, 6), leaf_size=12, ledger=led)
+        assert any(k.startswith("bdd/") for k in led.by_phase())
+
+
+class TestDualBags:
+    def test_root_dual_is_g_star(self, decomposition):
+        g, bdd = decomposition
+        dual = build_dual_bag(bdd.root)
+        assert dual.num_nodes == g.num_faces()
+        assert len(dual.arc_darts) == g.num_darts
+
+    def test_arcs_require_both_darts_live(self, decomposition):
+        g, bdd = decomposition
+        for bag in bdd.bags:
+            dual = build_dual_bag(bag)
+            live = bag.live_darts
+            for d in dual.arc_darts:
+                assert d in live and rev(d) in live
+
+    def test_f_x_is_separator(self, decomposition):
+        # exercised by validate_bdd, but assert the F_X content here
+        g, bdd = decomposition
+        for bag in bdd.bags:
+            if bag.is_leaf:
+                continue
+            dual = build_dual_bag(bag)
+            for d in dual.sx_arc_darts:
+                assert g.face_of[d] in dual.f_x
+                assert g.face_of[rev(d)] in dual.f_x
+            for f, children in dual.parts_in_children.items():
+                assert len(children) >= 2
+                assert f in dual.f_x
+
+    def test_child_of_node_correct(self, decomposition):
+        g, bdd = decomposition
+        for bag in bdd.bags:
+            if bag.is_leaf:
+                continue
+            dual = build_dual_bag(bag)
+            for f, c in dual.child_of_node.items():
+                if c is None:
+                    continue
+                darts = set(dual.nodes[f])
+                assert darts <= set(c.live_darts)
+
+    def test_all_dual_bags(self, decomposition):
+        g, bdd = decomposition
+        duals = build_all_dual_bags(bdd)
+        assert len(duals) == len(bdd.bags)
+
+
+class TestFacePartGrowth:
+    def test_face_parts_logarithmic(self):
+        g = grid(8, 8)
+        bdd = build_bdd(g, leaf_size=12)
+        report = validate_bdd(bdd)
+        assert report.max_face_parts <= 4 * (report.depth + 1) + 2
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=999))
+    def test_random_instances_validate(self, seed):
+        g = random_planar(30 + seed % 30, seed=seed % 20)
+        bdd = build_bdd(g, leaf_size=12)
+        validate_bdd(bdd)
+
+    def test_small_graph_single_leaf(self):
+        g = wheel(6)
+        bdd = build_bdd(g, leaf_size=100)
+        assert len(bdd.bags) == 1
+        assert bdd.root.is_leaf
+
+    def test_default_leaf_size(self):
+        from repro.bdd import default_leaf_size
+
+        g = grid(5, 5)
+        assert default_leaf_size(g) >= 16

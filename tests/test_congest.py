@@ -1,0 +1,168 @@
+"""Tests for the message-level CONGEST simulator and primitives."""
+
+import pytest
+
+from repro.congest import CongestNetwork, NodeProgram, RoundLedger
+from repro.congest.bellman_ford import run_bellman_ford
+from repro.congest.primitives import (
+    run_bfs,
+    run_convergecast_sum,
+    run_pipelined_broadcast,
+)
+from repro.errors import SimulationError
+from repro.planar.generators import grid, wheel
+
+
+def adjacency_of(pg):
+    return [pg.neighbors(v) for v in range(pg.n)]
+
+
+class TestNetwork:
+    def test_empty_programs_halt(self):
+        net = CongestNetwork([[1], [0]])
+
+        class Noop(NodeProgram):
+            def step(self, ctx, inbox):
+                self.halted = True
+                return {}
+
+        _, stats = net.run({0: Noop(), 1: Noop()})
+        assert stats.rounds <= 1
+
+    def test_send_to_non_neighbor_rejected(self):
+        net = CongestNetwork([[1], [0], []])
+
+        class Bad(NodeProgram):
+            def step(self, ctx, inbox):
+                self.halted = True
+                if ctx.node == 0:
+                    return {2: ("x", 1)}
+                return {}
+
+        with pytest.raises(SimulationError):
+            net.run({v: Bad() for v in range(3)})
+
+    def test_message_accounting(self):
+        g = grid(3, 3)
+        _, _, stats = run_bfs(adjacency_of(g), 0)
+        assert stats.messages > 0
+        assert stats.bandwidth_violations == 0
+
+
+class TestBfs:
+    def test_bfs_distances(self):
+        g = grid(4, 4)
+        dist, parent, stats = run_bfs(adjacency_of(g), 0)
+        ref, _ = g.bfs(0)
+        assert [dist[v] for v in range(g.n)] == ref
+        # BFS completes in depth + O(1) rounds
+        assert stats.rounds <= max(ref) + 2
+
+    def test_bfs_parents_form_tree(self):
+        g = wheel(10)
+        dist, parent, _ = run_bfs(adjacency_of(g), 0)
+        for v in range(1, g.n):
+            assert parent[v] != -1
+            assert dist[parent[v]] == dist[v] - 1
+
+
+class TestBroadcast:
+    def test_all_receive_all_tokens(self):
+        g = grid(3, 4)
+        tokens = list(range(7))
+        received, stats = run_pipelined_broadcast(adjacency_of(g), 0, tokens)
+        for v in range(g.n):
+            assert sorted(received[v]) == tokens
+
+    def test_pipelining_round_bound(self):
+        # depth + k + O(1), not depth * k
+        g = grid(2, 10)
+        dist, _, _ = run_bfs(adjacency_of(g), 0)
+        depth = max(dist.values())
+        k = 15
+        _, stats = run_pipelined_broadcast(adjacency_of(g), 0,
+                                           list(range(k)))
+        assert stats.rounds <= depth + k + 3
+
+
+class TestConvergecast:
+    def test_sum(self):
+        g = grid(3, 3)
+        values = {v: v + 1 for v in range(g.n)}
+        total, _ = run_convergecast_sum(adjacency_of(g), 4, values)
+        assert total == sum(values.values())
+
+
+class TestBellmanFord:
+    def test_distances(self):
+        g = grid(3, 3)
+        weights = {}
+        for eid, (u, v) in enumerate(g.edges):
+            weights[(u, v)] = eid % 3 + 1
+            weights[(v, u)] = eid % 3 + 1
+        dist, neg, _ = run_bellman_ford(adjacency_of(g), weights, 0)
+        assert not neg
+        import networkx as nx
+
+        nxg = nx.DiGraph()
+        for (u, v), w in weights.items():
+            nxg.add_edge(u, v, weight=w)
+        ref = nx.single_source_bellman_ford_path_length(nxg, 0)
+        for v in range(g.n):
+            assert dist[v] == ref[v]
+
+    def test_negative_edges_ok(self):
+        adjacency = [[1], [0, 2], [1]]
+        weights = {(0, 1): 5, (1, 0): 5, (1, 2): -3, (2, 1): 4}
+        dist, neg, _ = run_bellman_ford(adjacency, weights, 0)
+        assert not neg
+        assert dist[2] == 2
+
+    def test_negative_cycle_detected(self):
+        adjacency = [[1], [0, 2], [1]]
+        weights = {(0, 1): 1, (1, 0): -2, (1, 2): 1, (2, 1): 1}
+        dist, neg, _ = run_bellman_ford(adjacency, weights, 0)
+        assert neg
+
+    def test_round_complexity_is_linear(self):
+        g = grid(2, 6)
+        weights = {}
+        for u, v in g.edges:
+            weights[(u, v)] = 1
+            weights[(v, u)] = 1
+        _, _, stats = run_bellman_ford(adjacency_of(g), weights, 0)
+        assert stats.rounds >= g.n  # the naive schedule really is Θ(n)
+
+
+class TestLedger:
+    def test_charges_accumulate(self):
+        led = RoundLedger()
+        led.charge(10, "a")
+        led.charge(5, "a", detail="more")
+        led.charge(3, "b")
+        assert led.total() == 18
+        assert led.by_phase() == {"a": 15, "b": 3}
+
+    def test_scoped(self):
+        led = RoundLedger()
+        sub = led.scoped("bdd")
+        sub.charge(4, "separator")
+        sub.scoped("level0").charge_bfs(7, "tree")
+        assert led.by_phase() == {"bdd/separator": 4,
+                                  "bdd/level0/tree": 7}
+
+    def test_broadcast_formula(self):
+        led = RoundLedger()
+        led.charge_broadcast(num_messages=12, depth=5, phase="x")
+        assert led.total() == 17
+
+    def test_min_one_round(self):
+        led = RoundLedger()
+        led.charge(0, "x")
+        assert led.total() == 1
+
+    def test_report_contains_phases(self):
+        led = RoundLedger()
+        led.charge(2, "alpha")
+        rep = led.report()
+        assert "alpha" in rep and "TOTAL" in rep

@@ -1,0 +1,151 @@
+"""Tests for the directed girth ([36] route), the centralized baselines,
+and the analysis metrics."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.analysis.metrics import SeriesRow, fit_exponent, format_table
+from repro.baselines.centralized import (
+    centralized_max_flow,
+    centralized_sssp,
+    centralized_weighted_girth,
+)
+from repro.baselines.distributed_naive import (
+    de_vos_round_model,
+    naive_maxflow_rounds,
+    paper_round_model,
+)
+from repro.congest import RoundLedger
+from repro.core import flow_value_networkx
+from repro.core.directed_girth import directed_weighted_girth
+from repro.planar.generators import (
+    bidirect,
+    grid,
+    random_planar,
+    randomize_weights,
+)
+
+
+def brute_directed_girth(g):
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(g.n))
+    for eid, (u, v) in enumerate(g.edges):
+        w = g.weights[eid]
+        if nxg.has_edge(u, v):
+            nxg[u][v]["weight"] = min(nxg[u][v]["weight"], w)
+        else:
+            nxg.add_edge(u, v, weight=w)
+    best = math.inf
+    for u, v, data in nxg.edges(data=True):
+        try:
+            best = min(best, data["weight"]
+                       + nx.dijkstra_path_length(nxg, v, u))
+        except nx.NetworkXNoPath:
+            pass
+    return None if math.isinf(best) else best
+
+
+class TestDirectedGirth:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        base = randomize_weights(random_planar(16 + seed, seed=seed),
+                                 low=1, high=50, seed=seed + 11)
+        g = bidirect(base, seed=seed)
+        res = directed_weighted_girth(g, leaf_size=12)
+        assert res.value == brute_directed_girth(g)
+
+    def test_witness_edge_on_a_cycle(self):
+        base = randomize_weights(random_planar(15, seed=4), low=1,
+                                 high=30, seed=4)
+        g = bidirect(base, seed=4)
+        res = directed_weighted_girth(g, leaf_size=12)
+        u, v = g.edges[res.witness_edge]
+        # the witness closes a cycle: v reaches u
+        nxg = nx.DiGraph()
+        for eid, (a, b) in enumerate(g.edges):
+            nxg.add_edge(a, b)
+        assert nx.has_path(nxg, v, u)
+
+    def test_dag_returns_none(self):
+        g = randomize_weights(grid(3, 4), seed=1)
+        assert directed_weighted_girth(g, leaf_size=10) is None
+
+    def test_ledger(self):
+        led = RoundLedger()
+        base = randomize_weights(random_planar(12, seed=2), seed=2)
+        directed_weighted_girth(bidirect(base, seed=2), leaf_size=10,
+                                ledger=led)
+        assert any("primal-labeling" in k for k in led.by_phase())
+
+
+class TestCentralizedBaselines:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_centralized_flow_matches_networkx(self, seed):
+        g = randomize_weights(random_planar(25, seed=seed), seed=seed,
+                              directed_capacities=True)
+        rng = random.Random(seed)
+        s, t = rng.sample(range(g.n), 2)
+        val, flow = centralized_max_flow(g, s, t, directed=True)
+        assert val == flow_value_networkx(g, s, t, directed=True)
+
+    def test_centralized_flow_undirected(self):
+        g = randomize_weights(grid(4, 4), seed=3)
+        val, flow = centralized_max_flow(g, 0, 15, directed=False)
+        assert val == flow_value_networkx(g, 0, 15, directed=False)
+        from repro.core import validate_flow
+
+        validate_flow(g, 0, 15, flow, val, directed=False)
+
+    def test_centralized_girth_unit_grid(self):
+        assert centralized_weighted_girth(grid(4, 4)) == 4
+
+    def test_centralized_sssp(self):
+        g = randomize_weights(grid(3, 5), seed=5)
+        dist = centralized_sssp(g, 0)
+        nxg = nx.Graph()
+        for eid, (u, v) in enumerate(g.edges):
+            nxg.add_edge(u, v, weight=g.weights[eid])
+        ref = nx.single_source_dijkstra_path_length(nxg, 0)
+        assert all(dist[v] == ref[v] for v in range(g.n))
+
+
+class TestRoundModels:
+    def test_paper_beats_devos_at_low_diameter(self):
+        n = 10**6
+        assert paper_round_model(n, 10) < de_vos_round_model(n, 10)
+
+    def test_devos_wins_at_linear_diameter(self):
+        n = 10**4
+        d = n // 2
+        assert paper_round_model(n, d) > de_vos_round_model(n, d)
+
+    def test_naive_rounds_grow_with_n(self):
+        small = naive_maxflow_rounds(grid(3, 5))
+        big = naive_maxflow_rounds(grid(6, 10))
+        assert big > small
+
+
+class TestMetrics:
+    def test_fit_exponent_quadratic(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [x * x for x in xs]
+        assert abs(fit_exponent(xs, ys) - 2.0) < 1e-9
+
+    def test_fit_exponent_linear_with_noise(self):
+        xs = [2, 4, 8, 16]
+        ys = [2.2 * x for x in xs]
+        assert abs(fit_exponent(xs, ys) - 1.0) < 0.05
+
+    def test_format_table_rows(self):
+        rows = [SeriesRow(family="g", n=10, d=3, rounds=99,
+                          extra={"k": 1.5})]
+        out = format_table(rows, ["family", "n", "d", "rounds", "k"])
+        assert "99" in out and "1.5" in out
+
+    def test_series_row_normalization(self):
+        r = SeriesRow(family="g", n=10, d=4, rounds=64)
+        assert r.normalized(2) == 4.0
+        assert r.normalized(1) == 16.0

@@ -1,0 +1,157 @@
+"""Tests for the dual graph construction and cycle-cut duality."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NegativeCycleError
+from repro.planar import DualGraph, PlanarGraph, rev
+from repro.planar.dual import (
+    bellman_ford_arcs,
+    cut_edges_of_dual_cut,
+    is_simple_cycle,
+)
+from repro.planar.generators import (
+    grid,
+    outerplanar_fan,
+    path,
+    random_planar,
+    randomize_weights,
+    wheel,
+)
+
+
+class TestDualStructure:
+    def test_edge_bijection(self):
+        g = grid(3, 4)
+        dual = DualGraph(g)
+        assert len(dual.undirected_edges()) == g.m
+
+    def test_dual_node_degree_equals_face_length(self):
+        g = grid(3, 4)
+        dual = DualGraph(g)
+        from collections import Counter
+
+        deg = Counter()
+        for _eid, f, h, _w in dual.undirected_edges():
+            deg[f] += 1
+            deg[h] += 1
+        for fid, face in enumerate(g.faces):
+            assert deg[fid] == len(face)
+
+    def test_bridge_gives_self_loop(self):
+        g = path(3)  # two bridges, one face
+        dual = DualGraph(g)
+        for _eid, f, h, _w in dual.undirected_edges():
+            assert f == h  # all self-loops
+
+    def test_parallel_dual_edges(self):
+        # two faces of a 4-cycle share all 4 edges -> 4 parallel dual edges
+        g = grid(2, 2)
+        dual = DualGraph(g)
+        assert dual.num_nodes == 2
+        pairs = [(f, h) for _e, f, h, _w in dual.undirected_edges()]
+        assert len(pairs) == 4
+
+    def test_arcs_are_reversals(self):
+        g = wheel(6)
+        dual = DualGraph(g)
+        for d in g.darts():
+            t, h = dual.arc(d)
+            t2, h2 = dual.arc(rev(d))
+            assert (t, h) == (h2, t2)
+
+    def test_euler_in_dual(self):
+        # dual of a connected planar graph: nodes = f, edges = m, and its
+        # own face count equals n (duality is an involution)
+        g = grid(4, 4)
+        dual = DualGraph(g)
+        assert dual.num_nodes == g.num_faces()
+
+    def test_faces_of_vertex(self):
+        g = grid(3, 3)
+        dual = DualGraph(g)
+        center = 4
+        assert len(dual.all_faces_of_vertex(center)) == 4
+
+
+class TestCycleCutDuality:
+    def test_grid_inner_face_cut(self):
+        # the dual cut ({inner face}, rest) is the 4-cycle bounding it
+        g = grid(3, 3)
+        inner = [fid for fid, f in enumerate(g.faces) if len(f) == 4]
+        for fid in inner:
+            eids = cut_edges_of_dual_cut(g, [fid])
+            assert len(eids) == 4
+            assert is_simple_cycle(g, eids)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_dual_cuts_are_cycles_when_connected(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = random_planar(24, seed=seed % 100)
+        dual = DualGraph(g)
+        # grow a random connected set of faces not covering everything
+        import networkx as nx
+
+        adj = {f: set() for f in range(dual.num_nodes)}
+        for _e, f, h, _w in dual.undirected_edges():
+            if f != h:
+                adj[f].add(h)
+                adj[h].add(f)
+        start = rng.randrange(dual.num_nodes)
+        side = {start}
+        for _ in range(rng.randrange(1, dual.num_nodes)):
+            frontier = {b for a in side for b in adj[a]} - side
+            if not frontier or len(side) + 1 >= dual.num_nodes:
+                break
+            side.add(rng.choice(sorted(frontier)))
+        rest = set(range(dual.num_nodes)) - side
+        # the complement side must also be connected for a simple cut
+        sub = nx.Graph()
+        sub.add_nodes_from(rest)
+        for _e, f, h, _w in dual.undirected_edges():
+            if f in rest and h in rest:
+                sub.add_edge(f, h)
+        if rest and nx.is_connected(sub):
+            eids = cut_edges_of_dual_cut(g, side)
+            assert is_simple_cycle(g, eids)
+
+
+class TestBellmanFord:
+    def test_simple_distances(self):
+        arcs = [(0, 1, 5), (1, 2, -2), (0, 2, 9)]
+        dist = bellman_ford_arcs(3, arcs, 0)
+        assert dist[2] == 3
+
+    def test_negative_cycle_detected(self):
+        arcs = [(0, 1, 1), (1, 2, -5), (2, 1, 2)]
+        with pytest.raises(NegativeCycleError):
+            bellman_ford_arcs(3, arcs, 0)
+
+    def test_unreachable(self):
+        arcs = [(0, 1, 1)]
+        dist = bellman_ford_arcs(3, arcs, 0)
+        assert dist[2] == float("inf")
+
+    def test_dual_bellman_ford_matches_networkx(self):
+        import networkx as nx
+
+        g = randomize_weights(grid(4, 4), seed=3)
+        dual = DualGraph(g)
+        lengths = {}
+        for d in g.darts():
+            lengths[d] = g.weights[d >> 1]
+        ours = dual.bellman_ford(0, lengths)
+
+        nxg = nx.DiGraph()
+        for d in g.darts():
+            t, h = dual.arc(d)
+            w = lengths[d]
+            if nxg.has_edge(t, h):
+                w = min(w, nxg[t][h]["weight"])
+            nxg.add_edge(t, h, weight=w)
+        ref = nx.single_source_bellman_ford_path_length(nxg, 0)
+        for v in range(dual.num_nodes):
+            assert ours[v] == ref.get(v, float("inf"))

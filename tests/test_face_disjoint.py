@@ -1,0 +1,102 @@
+"""Tests for the face-disjoint graph Ĝ (Section 3, Properties 1-5)."""
+
+import networkx as nx
+import pytest
+
+from repro.planar import DualGraph
+from repro.planar.face_disjoint import FaceDisjointGraph
+from repro.planar.generators import (
+    grid,
+    outerplanar_fan,
+    path,
+    random_planar,
+    wheel,
+)
+
+
+@pytest.fixture(params=[
+    lambda: grid(3, 4),
+    lambda: grid(5, 5),
+    lambda: wheel(8),
+    lambda: outerplanar_fan(7),
+    lambda: random_planar(30, seed=5),
+    lambda: path(6),
+])
+def primal(request):
+    return request.param()
+
+
+class TestStructure:
+    def test_vertex_count(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        expected = primal.n + sum(primal.degree(v) for v in range(primal.n))
+        assert g_hat.num_vertices == expected
+
+    def test_edge_counts(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        assert len(g_hat.es_edges) == 2 * primal.m          # one per dart
+        assert len(g_hat.er_edge_of_dart) == 2 * primal.m   # one per dart
+        assert len(g_hat.ec_edge_of_edge) == primal.m       # one per edge
+
+    def test_property_1_planarity(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        ok, _ = nx.check_planarity(g_hat.to_networkx())
+        assert ok, "Ĝ must be planar (Property 1)"
+
+    def test_property_2_diameter(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        d = primal.diameter()
+        nxg = g_hat.to_networkx()
+        d_hat = nx.diameter(nxg)
+        assert d_hat <= 3 * d + 6, f"diam(Ĝ)={d_hat} too large vs D={d}"
+
+    def test_owner_vertex(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        for v in range(primal.n):
+            assert g_hat.owner_vertex(g_hat.star_center(v)) == v
+            for k in range(primal.degree(v)):
+                assert g_hat.owner_vertex(g_hat.corner_copy(v, k)) == v
+
+
+class TestProperty4Faces:
+    def test_er_components_are_faces(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        comps = g_hat.er_components()
+        assert len(comps) == primal.num_faces()
+
+    def test_face_cycles_vertex_disjoint(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        seen = set()
+        for fid in range(primal.num_faces()):
+            cyc = g_hat.face_cycle_vertices(fid)
+            assert len(cyc) == len(primal.faces[fid])
+            for x in cyc:
+                assert x not in seen, "face cycles must be vertex-disjoint"
+                seen.add(x)
+
+    def test_face_of_corner_consistent(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        for fid in range(primal.num_faces()):
+            for x in g_hat.face_cycle_vertices(fid):
+                assert g_hat.face_of_corner(x) == fid
+
+    def test_leaders_unique(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        leaders = {g_hat.face_leader(f) for f in range(primal.num_faces())}
+        assert len(leaders) == primal.num_faces()
+
+
+class TestProperty5Ec:
+    def test_ec_edges_connect_the_two_face_cycles(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        dual = DualGraph(primal)
+        for eid, (a, b) in g_hat.ec_edge_of_edge.items():
+            f, g = dual.arc(2 * eid)
+            fa = g_hat.face_of_corner(a)
+            fb = g_hat.face_of_corner(b)
+            assert {fa, fb} == {f, g}, (
+                f"E_C edge of {eid} joins faces {fa},{fb}, dual says {f},{g}")
+
+    def test_ec_bijection_to_dual_edges(self, primal):
+        g_hat = FaceDisjointGraph(primal)
+        assert len(g_hat.ec_edge_of_edge) == primal.m

@@ -1,0 +1,141 @@
+"""Failure injection: the library must reject invalid inputs loudly and
+survive degenerate ones correctly."""
+
+import pytest
+
+from repro.bdd import build_bdd
+from repro.core import approx_max_st_flow, max_st_flow, min_st_cut, \
+    weighted_girth
+from repro.errors import (
+    EmbeddingError,
+    InfeasibleFlowError,
+    NegativeCycleError,
+    NotConnectedError,
+    ReproError,
+)
+from repro.labeling import DualDistanceLabeling
+from repro.planar import PlanarGraph
+from repro.planar.generators import grid, path, randomize_weights, wheel
+
+
+class TestInvalidInputs:
+    def test_disconnected_graph_rejected_by_bdd(self):
+        # two disjoint squares
+        g2 = grid(2, 2)
+        edges = list(g2.edges) + [(u + 4, v + 4) for (u, v) in g2.edges]
+        rotations = [list(r) for r in g2.rotations]
+        for r in g2.rotations:
+            rotations.append([d + 2 * g2.m for d in r])
+        g = PlanarGraph(8, edges, rotations)
+        with pytest.raises(NotConnectedError):
+            build_bdd(g)
+
+    def test_equal_endpoints_rejected(self):
+        with pytest.raises(InfeasibleFlowError):
+            max_st_flow(grid(3, 3), 2, 2)
+
+    def test_non_st_planar_rejected_with_clear_error(self):
+        g = grid(5, 5)
+        with pytest.raises(InfeasibleFlowError) as e:
+            approx_max_st_flow(g, 12, 0)
+        assert "face" in str(e.value)
+
+    def test_torus_rotation_rejected(self):
+        g = wheel(4)
+        rotations = [list(r) for r in g.rotations]
+        rotations[4][0], rotations[4][1] = rotations[4][1], rotations[4][0]
+        bad = PlanarGraph(g.n, g.edges, rotations)
+        with pytest.raises(EmbeddingError):
+            bad.check_euler()
+
+    def test_all_errors_are_repro_errors(self):
+        for exc in (EmbeddingError, InfeasibleFlowError,
+                    NegativeCycleError, NotConnectedError):
+            assert issubclass(exc, ReproError)
+
+
+class TestDegenerateInstances:
+    def test_flow_on_tree_is_zero_or_path_capacity(self):
+        # a path graph: flow = min capacity on the path (undirected)
+        g = randomize_weights(path(6), seed=1)
+        res = max_st_flow(g, 0, 5, directed=False, leaf_size=8)
+        assert res.value == min(g.capacities)
+
+    def test_directed_tree_flow(self):
+        g = randomize_weights(path(5), seed=2, directed_capacities=True)
+        res = max_st_flow(g, 0, 4, directed=True, leaf_size=8)
+        assert res.value == min(g.capacities)
+        res_rev = max_st_flow(g, 4, 0, directed=True, leaf_size=8)
+        assert res_rev.value == 0  # all edges oriented forward
+
+    def test_single_edge_graph(self):
+        g = randomize_weights(path(2), seed=3)
+        res = max_st_flow(g, 0, 1, directed=False)
+        assert res.value == g.capacities[0]
+
+    def test_zero_capacity_edges(self):
+        g = grid(3, 3)
+        caps = [0 if eid % 3 == 0 else 5 for eid in range(g.m)]
+        g = g.copy(capacities=caps)
+        from repro.core import flow_value_networkx
+
+        ref = flow_value_networkx(g, 0, 8, directed=True)
+        res = max_st_flow(g, 0, 8, directed=True, leaf_size=10)
+        assert res.value == ref
+
+    def test_girth_on_single_cycle(self):
+        # wheel rim + hub... use a pure cycle via cylinder(1, k)
+        from repro.planar.generators import cylinder
+
+        g = randomize_weights(cylinder(1, 8), seed=4)
+        res = weighted_girth(g)
+        assert res.value == sum(g.weights)
+        assert sorted(res.cycle_edge_ids) == list(range(g.m))
+
+    def test_mincut_pendant_vertex(self):
+        # sink hanging off one edge: that edge is the whole cut
+        base = grid(3, 3)
+        edges = list(base.edges) + [(8, 9)]
+        rotations = [list(r) for r in base.rotations] + [[2 * base.m + 1]]
+        rotations[8] = rotations[8] + [2 * base.m]
+        g = PlanarGraph(10, edges, rotations,
+                        weights=[3] * (base.m + 1),
+                        capacities=[3] * (base.m + 1))
+        g.check_euler()
+        res = min_st_cut(g, 0, 9, directed=True, leaf_size=10)
+        assert res.value == 3
+        assert res.cut_edge_ids == [base.m]
+
+
+class TestNegativeCycleInjection:
+    def test_negative_cycle_aborts_flow_probe_gracefully(self):
+        # Miller-Naor probes interpret negative cycles as "λ infeasible";
+        # the solver must converge to the max feasible λ, never crash
+        g = randomize_weights(grid(4, 4), seed=5,
+                              directed_capacities=True)
+        res = max_st_flow(g, 0, 15, directed=True, leaf_size=10)
+        assert res.value >= 0
+
+    def test_direct_negative_cycle_raises(self):
+        g = grid(3, 3)
+        lengths = {d: -1 for d in g.darts()}
+        bdd = build_bdd(g, leaf_size=10)
+        with pytest.raises(NegativeCycleError):
+            DualDistanceLabeling(bdd, lengths)
+
+    def test_negative_lengths_on_leaf_only_bdd(self):
+        g = grid(3, 3)
+        lengths = {d: -1 for d in g.darts()}
+        bdd = build_bdd(g, leaf_size=10**6)   # single leaf bag
+        with pytest.raises(NegativeCycleError):
+            DualDistanceLabeling(bdd, lengths)
+
+
+class TestBandwidthDiscipline:
+    def test_messages_within_logn_budget(self):
+        from repro.congest.primitives import run_bfs
+
+        g = grid(6, 6)
+        _, _, stats = run_bfs([g.neighbors(v) for v in range(g.n)], 0)
+        assert stats.bandwidth_violations == 0
+        assert stats.max_message_bits <= 8 * 6  # 8 * ceil(log2 36)

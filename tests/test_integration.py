@@ -1,0 +1,133 @@
+"""End-to-end integration tests: whole pipelines on shared instances,
+cross-checking algorithms against each other (max-flow == min-cut ==
+dual distance; girth cycle vs its dual cut; exact vs approximate flow)."""
+
+import pytest
+
+from repro.baselines.centralized import (
+    centralized_max_flow,
+    centralized_weighted_girth,
+)
+from repro.congest import RoundLedger
+from repro.core import (
+    approx_max_st_flow,
+    flow_value_networkx,
+    max_st_flow,
+    min_st_cut,
+    validate_flow,
+    verify_st_cut,
+    weighted_girth,
+)
+from repro.labeling.primal import PrimalDistanceLabeling
+from repro.planar.generators import grid, random_planar, randomize_weights
+
+
+@pytest.fixture(scope="module")
+def city():
+    return randomize_weights(random_planar(55, seed=17), seed=17,
+                             directed_capacities=True)
+
+
+class TestCrossChecks:
+    def test_maxflow_equals_mincut_equals_centralized(self, city):
+        s, t = 0, city.n - 1
+        flow = max_st_flow(city, s, t, directed=True, leaf_size=14)
+        cut = min_st_cut(city, s, t, directed=True, leaf_size=14)
+        cen_val, _cen_flow = centralized_max_flow(city, s, t,
+                                                  directed=True)
+        nx_val = flow_value_networkx(city, s, t, directed=True)
+        assert flow.value == cut.value == cen_val == nx_val
+
+    def test_exact_vs_approx_flow_bracket(self):
+        g = randomize_weights(grid(5, 8), seed=23)
+        s, t = 0, g.n - 1
+        exact = max_st_flow(g, s, t, directed=False, leaf_size=12)
+        approx = approx_max_st_flow(g, s, t, eps=0.15, seed=23)
+        assert approx.value <= exact.value + 1e-9
+        assert approx.value >= (1 - 0.3) * exact.value
+        assert approx.cut_capacity >= exact.value - 1e-9
+
+    def test_girth_cycle_edges_cut_the_dual(self, city):
+        und = city.copy(weights=city.weights)
+        res = weighted_girth(und)
+        assert res.value == centralized_weighted_girth(und)
+        # removing the cycle edges disconnects the two dual sides
+        from repro.planar.dual import cut_edges_of_dual_cut
+
+        recovered = cut_edges_of_dual_cut(und, res.cut_side_faces)
+        assert sorted(recovered) == sorted(res.cycle_edge_ids)
+
+    def test_primal_labels_agree_with_bfs_on_unit_weights(self):
+        g = grid(5, 7)
+        lab = PrimalDistanceLabeling(g, leaf_size=12)
+        dist, _ = g.bfs(0)
+        for v in range(g.n):
+            assert lab.distance(0, v) == dist[v]
+
+    def test_flow_respects_mincut_edges(self, city):
+        s, t = 0, city.n - 1
+        cut = min_st_cut(city, s, t, directed=True, leaf_size=14)
+        # every cut edge is saturated by the accompanying flow
+        for eid in cut.cut_edge_ids:
+            assert abs(cut.flow[eid] - city.capacities[eid]) < 1e-9
+
+
+class TestLedgerEndToEnd:
+    def test_full_pipeline_ledger_breakdown(self):
+        g = randomize_weights(grid(5, 5), seed=31,
+                              directed_capacities=True)
+        led = RoundLedger()
+        res = max_st_flow(g, 0, g.n - 1, directed=True, leaf_size=12,
+                          ledger=led)
+        phases = led.by_phase()
+        assert any(k.startswith("bdd/") for k in phases)
+        assert any(k.startswith("labeling/") for k in phases)
+        assert any(k.startswith("dual-sssp/") for k in phases)
+        # labeling dominates: the Õ(D²) term
+        labeling = sum(v for k, v in phases.items()
+                       if k.startswith("labeling/"))
+        assert labeling > phases.get("maxflow/find-path", 0)
+
+    def test_round_shape_d_squared_not_n(self):
+        # two instances, same D, different n: rounds should track D²,
+        # not n (the paper's whole point)
+        led1, led2 = RoundLedger(), RoundLedger()
+        g1 = randomize_weights(grid(4, 8), seed=1,
+                               directed_capacities=True)
+        g2 = randomize_weights(grid(6, 6), seed=1,
+                               directed_capacities=True)
+        max_st_flow(g1, 0, g1.n - 1, directed=True, leaf_size=12,
+                    ledger=led1)
+        max_st_flow(g2, 0, g2.n - 1, directed=True, leaf_size=12,
+                    ledger=led2)
+        # both ~ D^2 * polylog; ratio bounded by a small constant
+        r = led1.total() / led2.total()
+        assert 0.2 <= r <= 5.0
+
+
+class TestMultipleQueriesOneLabeling:
+    def test_labeling_reused_for_many_sssp_queries(self):
+        import random
+
+        from repro.bdd import build_bdd
+        from repro.labeling import DualDistanceLabeling, dual_sssp
+        from repro.planar import DualGraph
+        from repro.planar.dual import bellman_ford_arcs
+        from repro.planar.graph import rev
+
+        g = randomize_weights(grid(4, 6), seed=3)
+        lengths = {d: g.weights[d >> 1] for d in g.darts()}
+        bdd = build_bdd(g, leaf_size=12)
+        from repro.labeling import DualDistanceLabeling
+
+        lab = DualDistanceLabeling(bdd, lengths)
+        dual = DualGraph(g)
+        arcs = [(g.face_of[d], g.face_of[rev(d)], lengths[d])
+                for d in g.darts()]
+        rng = random.Random(3)
+        for _ in range(5):
+            src = rng.randrange(g.num_faces())
+            res = dual_sssp(lab, source=src)
+            ref = bellman_ford_arcs(dual.num_nodes, arcs, src)
+            assert all(res.dist[f] == ref[f]
+                       for f in range(dual.num_nodes))

@@ -1,0 +1,164 @@
+"""Tests for the distributed-knowledge bookkeeping (Thm 5.2 props 13-14)
+and the primal distance labeling ([27] substrate)."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import build_bdd
+from repro.bdd.knowledge import (
+    build_knowledge,
+    knowledge_words_per_vertex,
+    verify_knowledge,
+)
+from repro.congest import RoundLedger
+from repro.labeling.primal import PrimalDistanceLabeling
+from repro.planar.generators import (
+    cylinder,
+    grid,
+    random_planar,
+    randomize_weights,
+)
+
+
+class TestKnowledge:
+    @pytest.mark.parametrize("maker,leaf", [
+        (lambda: grid(5, 5), 12),
+        (lambda: cylinder(4, 7), 12),
+        (lambda: random_planar(50, seed=6), 14),
+        (lambda: random_planar(40, seed=3, keep=0.8), 12),
+    ])
+    def test_locally_consistent(self, maker, leaf):
+        g = maker()
+        bdd = build_bdd(g, leaf_size=leaf)
+        know = build_knowledge(bdd)
+        assert verify_knowledge(bdd, know)
+
+    def test_part_ids_have_prefix_structure(self):
+        g = grid(6, 6)
+        bdd = build_bdd(g, leaf_size=12)
+        know = build_knowledge(bdd)
+        # every part id starts with the G-face id and only appends
+        for k in know.values():
+            for (bag_id, d), pid in k.face_id_of_dart.items():
+                assert pid[0] == g.face_of[d]
+
+    def test_whole_faces_keep_root_id(self):
+        g = grid(5, 5)
+        bdd = build_bdd(g, leaf_size=12)
+        know = build_knowledge(bdd)
+        # a face fully contained in a leaf carries its root id when it
+        # never split: id length 1
+        face_sizes = {f: len(w) for f, w in enumerate(g.faces)}
+        for leaf in bdd.leaf_bags():
+            for f, darts in leaf.live_faces().items():
+                if len(darts) == face_sizes[f]:
+                    v = g.tail(darts[0])
+                    pid = know[v].face_id_of_dart[(leaf.bag_id, darts[0])]
+                    assert pid == (f,)
+
+    def test_dual_arc_known_iff_both_darts_live(self):
+        g = grid(5, 5)
+        bdd = build_bdd(g, leaf_size=12)
+        know = build_knowledge(bdd)
+        for bag in bdd.bags:
+            live = bag.live_darts
+            for eid in bag.edge_ids:
+                u, _ = g.edges[eid]
+                arc = know[u].dual_arc_of_edge[(bag.bag_id, eid)]
+                both = (2 * eid in live) and (2 * eid + 1 in live)
+                assert (arc is not None) == both
+
+    def test_storage_measured_and_bounded(self):
+        g = grid(6, 6)
+        bdd = build_bdd(g, leaf_size=12)
+        know = build_knowledge(bdd)
+        words = knowledge_words_per_vertex(know)
+        # Õ(deg * depth) words per vertex
+        assert words <= 8 * 4 * (bdd.depth + 1) * (bdd.depth + 2)
+
+    def test_ledger_charged(self):
+        led = RoundLedger()
+        g = grid(5, 5)
+        bdd = build_bdd(g, leaf_size=12)
+        build_knowledge(bdd, ledger=led)
+        assert any(k.startswith("knowledge/") for k in led.by_phase())
+
+
+class TestPrimalLabeling:
+    def reference(self, g):
+        nxg = nx.Graph()
+        for eid, (u, v) in enumerate(g.edges):
+            w = g.weights[eid]
+            if nxg.has_edge(u, v):
+                nxg[u][v]["weight"] = min(nxg[u][v]["weight"], w)
+            else:
+                nxg.add_edge(u, v, weight=w)
+        return dict(nx.all_pairs_dijkstra_path_length(nxg))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dijkstra(self, seed):
+        g = randomize_weights(random_planar(30 + seed, seed=seed),
+                              seed=seed)
+        lab = PrimalDistanceLabeling(g, leaf_size=12)
+        ref = self.reference(g)
+        rng = random.Random(seed)
+        for _ in range(30):
+            a, b = rng.randrange(g.n), rng.randrange(g.n)
+            assert lab.distance(a, b) == ref[a][b]
+
+    def test_cut_vertices_handled(self):
+        # sparsified graphs have cut vertices: the shared-vertex anchor
+        # extension must keep decoding exact
+        g = randomize_weights(random_planar(40, seed=9, keep=0.75),
+                              seed=9)
+        lab = PrimalDistanceLabeling(g, leaf_size=10)
+        ref = self.reference(g)
+        for a in range(0, g.n, 5):
+            for b in range(0, g.n, 7):
+                assert lab.distance(a, b) == ref[a][b]
+
+    def test_directed_lengths(self):
+        # residual-style asymmetric 0/1 lengths (Theorem 6.1's use)
+        g = grid(4, 4)
+        lengths = {}
+        for eid in range(g.m):
+            lengths[2 * eid] = 0
+            lengths[2 * eid + 1] = 1
+        lab = PrimalDistanceLabeling(g, lengths=lengths, leaf_size=10)
+        nxg = nx.DiGraph()
+        for eid, (u, v) in enumerate(g.edges):
+            nxg.add_edge(u, v, weight=0)
+            nxg.add_edge(v, u, weight=1)
+        ref = dict(nx.all_pairs_dijkstra_path_length(nxg))
+        for a in range(g.n):
+            for b in range(g.n):
+                assert lab.distance(a, b) == ref[a][b]
+
+    def test_label_bits_scale_with_d(self):
+        small = PrimalDistanceLabeling(
+            randomize_weights(grid(3, 6), seed=1), leaf_size=10)
+        big = PrimalDistanceLabeling(
+            randomize_weights(grid(3, 16), seed=1), leaf_size=10)
+        assert big.max_label_bits() >= small.max_label_bits()
+
+    def test_self_distance(self):
+        g = randomize_weights(grid(4, 4), seed=2)
+        lab = PrimalDistanceLabeling(g, leaf_size=10)
+        for v in range(g.n):
+            assert lab.distance(v, v) == 0
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_property_random(self, seed):
+        g = randomize_weights(
+            random_planar(18 + seed % 18, seed=seed % 30, keep=0.9),
+            seed=seed)
+        lab = PrimalDistanceLabeling(g, leaf_size=8 + seed % 8)
+        ref = self.reference(g)
+        rng = random.Random(seed)
+        for _ in range(15):
+            a, b = rng.randrange(g.n), rng.randrange(g.n)
+            assert lab.distance(a, b) == ref[a][b]

@@ -1,0 +1,194 @@
+"""Tests for the dual distance labeling (Theorem 2.1) and dual SSSP
+(Lemma 2.2): decoded distances must match a centralized Bellman-Ford on
+the dual, including with negative lengths and negative-cycle detection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import build_bdd
+from repro.congest import RoundLedger
+from repro.errors import NegativeCycleError
+from repro.labeling import DualDistanceLabeling, decode_distance, dual_sssp
+from repro.planar import DualGraph
+from repro.planar.dual import bellman_ford_arcs
+from repro.planar.generators import (
+    cylinder,
+    grid,
+    random_planar,
+    randomize_weights,
+)
+from repro.planar.graph import rev
+
+
+def reference_apsp(g, lengths):
+    """Centralized per-dart-arc Bellman-Ford distances on G*."""
+    dual = DualGraph(g)
+    arcs = [(g.face_of[d], g.face_of[rev(d)], lengths[d])
+            for d in g.darts()]
+    return {s: bellman_ford_arcs(dual.num_nodes, arcs, s)
+            for s in range(dual.num_nodes)}
+
+
+def positive_lengths(g, seed=0):
+    rng = random.Random(seed)
+    return {d: rng.randint(1, 12) for d in g.darts()}
+
+
+def mixed_lengths(g, seed=0):
+    """Negative lengths without negative cycles: derive from a potential
+    function (dist-like shifts keep cycle sums unchanged)."""
+    rng = random.Random(seed)
+    base = {d: rng.randint(1, 10) for d in g.darts()}
+    phi = {f: rng.randint(-8, 8) for f in range(g.num_faces())}
+    out = {}
+    for d in g.darts():
+        f, h = g.face_of[d], g.face_of[rev(d)]
+        out[d] = base[d] + phi[f] - phi[h]
+    return out
+
+
+@pytest.mark.parametrize("maker,leaf", [
+    (lambda: grid(5, 5), 12),
+    (lambda: grid(3, 10), 10),
+    (lambda: cylinder(3, 7), 12),
+    (lambda: random_planar(45, seed=3), 14),
+    (lambda: random_planar(40, seed=8, keep=0.8), 12),
+])
+class TestLabelingExactness:
+    def test_positive_lengths(self, maker, leaf):
+        g = maker()
+        lengths = positive_lengths(g, seed=1)
+        bdd = build_bdd(g, leaf_size=leaf)
+        lab = DualDistanceLabeling(bdd, lengths)
+        ref = reference_apsp(g, lengths)
+        for s in range(g.num_faces()):
+            for t in range(g.num_faces()):
+                assert lab.distance(s, t) == ref[s][t], (s, t)
+
+    def test_negative_lengths(self, maker, leaf):
+        g = maker()
+        lengths = mixed_lengths(g, seed=2)
+        assert any(v < 0 for v in lengths.values())
+        bdd = build_bdd(g, leaf_size=leaf)
+        lab = DualDistanceLabeling(bdd, lengths)
+        ref = reference_apsp(g, lengths)
+        for s in range(0, g.num_faces(), 3):
+            for t in range(g.num_faces()):
+                assert lab.distance(s, t) == ref[s][t], (s, t)
+
+
+class TestNegativeCycles:
+    def test_negative_self_loop_detected(self):
+        # a tree edge gives a dual self-loop; make it negative
+        g = grid(1, 4)
+        lengths = {d: 1 for d in g.darts()}
+        lengths[0] = -5
+        bdd = build_bdd(g, leaf_size=8)
+        with pytest.raises(NegativeCycleError):
+            DualDistanceLabeling(bdd, lengths)
+
+    def test_negative_cycle_detected(self):
+        g = grid(4, 4)
+        # make all arcs around one internal vertex strongly negative in
+        # one rotational direction: a negative dual cycle
+        v = 5
+        lengths = {d: 3 for d in g.darts()}
+        for d in g.rotations[v]:
+            lengths[d] = -10
+        bdd = build_bdd(g, leaf_size=10)
+        with pytest.raises(NegativeCycleError):
+            DualDistanceLabeling(bdd, lengths)
+
+    def test_no_false_negative_cycle(self):
+        g = grid(5, 5)
+        lengths = mixed_lengths(g, seed=5)
+        bdd = build_bdd(g, leaf_size=10)
+        DualDistanceLabeling(bdd, lengths)  # must not raise
+
+
+class TestLabelProperties:
+    def test_label_size_measured(self):
+        g = grid(6, 6)
+        bdd = build_bdd(g, leaf_size=14)
+        lab = DualDistanceLabeling(bdd, positive_lengths(g))
+        bits = lab.max_label_bits()
+        assert bits > 0
+        # Õ(D)-bit shape: generously, |F_X| * depth * word bits
+        assert bits <= 32 * (g.diameter() + 4) * (bdd.depth + 2) * 16
+
+    def test_decode_self_distance_zero(self):
+        g = grid(4, 4)
+        bdd = build_bdd(g, leaf_size=10)
+        lab = DualDistanceLabeling(bdd, positive_lengths(g))
+        for f in range(g.num_faces()):
+            assert lab.distance(f, f) == 0
+
+    def test_single_leaf_bag_graph(self):
+        g = grid(3, 3)
+        bdd = build_bdd(g, leaf_size=1000)   # everything in one leaf
+        lab = DualDistanceLabeling(bdd, positive_lengths(g))
+        ref = reference_apsp(g, positive_lengths(g))
+        for s in range(g.num_faces()):
+            for t in range(g.num_faces()):
+                assert lab.distance(s, t) == ref[s][t]
+
+    def test_ledger_charges_levels(self):
+        led = RoundLedger()
+        g = grid(5, 5)
+        bdd = build_bdd(g, leaf_size=10)
+        DualDistanceLabeling(bdd, positive_lengths(g), ledger=led)
+        assert any(k.startswith("labeling/level") for k in led.by_phase())
+
+
+class TestDualSssp:
+    def test_sssp_distances_and_tree(self):
+        g = randomize_weights(grid(5, 5), seed=4)
+        lengths = positive_lengths(g, seed=4)
+        bdd = build_bdd(g, leaf_size=12)
+        lab = DualDistanceLabeling(bdd, lengths)
+        res = dual_sssp(lab, source=0)
+        ref = reference_apsp(g, lengths)[0]
+        for f in range(g.num_faces()):
+            assert res.dist[f] == ref[f]
+        # every reachable non-source face has a parent arc consistent
+        # with its distance
+        for f, d in res.parent_dart.items():
+            tail = g.face_of[d]
+            assert res.dist[tail] + lengths[d] == res.dist[f]
+
+    def test_sssp_tree_reaches_all(self):
+        g = grid(4, 6)
+        lengths = positive_lengths(g, seed=9)
+        bdd = build_bdd(g, leaf_size=12)
+        lab = DualDistanceLabeling(bdd, lengths)
+        res = dual_sssp(lab, source=2)
+        assert set(res.parent_dart) == \
+            set(range(g.num_faces())) - {2}
+
+    def test_sssp_with_negative_lengths(self):
+        g = grid(4, 4)
+        lengths = mixed_lengths(g, seed=11)
+        bdd = build_bdd(g, leaf_size=10)
+        lab = DualDistanceLabeling(bdd, lengths)
+        res = dual_sssp(lab, source=1)
+        ref = reference_apsp(g, lengths)[1]
+        for f in range(g.num_faces()):
+            assert res.dist[f] == ref[f]
+
+
+class TestPropertyBased:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        g = random_planar(20 + seed % 25, seed=seed % 40)
+        lengths = mixed_lengths(g, seed=seed)
+        bdd = build_bdd(g, leaf_size=8 + seed % 10)
+        lab = DualDistanceLabeling(bdd, lengths)
+        ref = reference_apsp(g, lengths)
+        for _ in range(12):
+            s = rng.randrange(g.num_faces())
+            t = rng.randrange(g.num_faces())
+            assert lab.distance(s, t) == ref[s][t]

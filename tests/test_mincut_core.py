@@ -1,0 +1,149 @@
+"""Tests for min st-cut (Theorems 6.1/6.2), girth (Theorem 1.7) and
+directed global min-cut (Theorem 1.5)."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.centralized import (
+    centralized_directed_global_mincut,
+    centralized_weighted_girth,
+)
+from repro.congest import RoundLedger
+from repro.core import (
+    directed_global_mincut,
+    flow_value_networkx,
+    min_st_cut,
+    verify_st_cut,
+    weighted_girth,
+)
+from repro.planar.dual import is_simple_cycle
+from repro.planar.generators import (
+    bidirect,
+    grid,
+    random_planar,
+    randomize_weights,
+    wheel,
+)
+
+
+class TestMinStCut:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cut_value_equals_flow(self, seed):
+        g = randomize_weights(random_planar(30, seed=seed), seed=seed + 3,
+                              directed_capacities=True)
+        rng = random.Random(seed)
+        s, t = rng.sample(range(g.n), 2)
+        res = min_st_cut(g, s, t, directed=True, leaf_size=14)
+        assert res.value == flow_value_networkx(g, s, t, directed=True)
+
+    def test_cut_separates(self):
+        g = randomize_weights(grid(4, 5), seed=7, directed_capacities=True)
+        res = min_st_cut(g, 0, g.n - 1, directed=True, leaf_size=12)
+        assert verify_st_cut(g, 0, g.n - 1, res.cut_edge_ids, directed=True)
+        assert 0 in res.source_side
+        assert g.n - 1 not in res.source_side
+
+    def test_undirected_cut(self):
+        g = randomize_weights(grid(4, 4), seed=2)
+        res = min_st_cut(g, 0, 15, directed=False, leaf_size=10)
+        assert res.value == flow_value_networkx(g, 0, 15, directed=False)
+        assert verify_st_cut(g, 0, 15, res.cut_edge_ids, directed=False)
+
+    def test_cut_edges_all_leave_side(self):
+        g = randomize_weights(grid(3, 5), seed=4, directed_capacities=True)
+        res = min_st_cut(g, 0, 14, directed=True, leaf_size=10)
+        side = set(res.source_side)
+        for eid in res.cut_edge_ids:
+            u, v = g.edges[eid]
+            assert u in side and v not in side
+
+
+class TestGirth:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_centralized(self, seed):
+        g = randomize_weights(random_planar(25 + seed, seed=seed),
+                              seed=seed + 40)
+        res = weighted_girth(g)
+        assert res.value == centralized_weighted_girth(g)
+
+    def test_cycle_is_simple_and_weighted_right(self):
+        g = randomize_weights(grid(5, 5), seed=6)
+        res = weighted_girth(g)
+        assert is_simple_cycle(g, res.cycle_edge_ids)
+        assert sum(g.weights[e] for e in res.cycle_edge_ids) == res.value
+
+    def test_uniform_weights_grid(self):
+        g = grid(4, 4)  # unit weights: girth 4
+        res = weighted_girth(g)
+        assert res.value == 4
+        assert len(res.cycle_edge_ids) == 4
+
+    def test_forest_returns_none(self):
+        from repro.planar.generators import path
+
+        assert weighted_girth(path(6)) is None
+
+    def test_ledger_charged_via_ma(self):
+        led = RoundLedger()
+        g = randomize_weights(grid(4, 4), seed=1)
+        weighted_girth(g, ledger=led)
+        assert any("girth" in k for k in led.by_phase())
+
+    def test_parallel_dual_edges_summed(self):
+        # 2x2 grid: dual has 2 nodes with 4 parallel edges; the girth is
+        # the boundary 4-cycle, whose dual cut sums all 4 edges
+        g = randomize_weights(grid(2, 2), seed=3)
+        res = weighted_girth(g)
+        assert res.value == sum(g.weights)
+        assert sorted(res.cycle_edge_ids) == [0, 1, 2, 3]
+
+
+class TestDirectedGlobalMinCut:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_brute_force(self, seed):
+        base = randomize_weights(random_planar(14 + seed, seed=seed),
+                                 seed=seed + 5)
+        g = bidirect(base, seed=seed)
+        res = directed_global_mincut(g, leaf_size=12)
+        assert res.value == centralized_directed_global_mincut(g)
+
+    def test_cut_is_directed_bisection(self):
+        base = randomize_weights(random_planar(15, seed=9), seed=10)
+        g = bidirect(base, seed=9)
+        res = directed_global_mincut(g, leaf_size=12)
+        side = set(res.side)
+        assert 0 < len(side) < g.n
+        total = 0
+        for eid, (u, v) in enumerate(g.edges):
+            if u in side and v not in side:
+                assert eid in res.cut_edge_ids
+                total += g.weights[eid]
+        assert total == res.value
+
+    def test_sparse_digraph_zero_cut(self):
+        # random orientations leave sinks: min directed cut 0
+        g = randomize_weights(random_planar(18, seed=2), seed=2)
+        res = directed_global_mincut(g, leaf_size=10)
+        assert res.value == centralized_directed_global_mincut(g)
+
+    def test_bridge_cut(self):
+        # two wheels joined by one directed bridge: the bridge weight is
+        # an upper bound and usually the min cut
+        base = randomize_weights(wheel(5), seed=0)
+        res = directed_global_mincut(bidirect(base, seed=1), leaf_size=10)
+        g = bidirect(base, seed=1)
+        assert res.value == centralized_directed_global_mincut(g)
+
+
+class TestGlobalMinCutProperty:
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_bidirected(self, seed):
+        base = randomize_weights(
+            random_planar(10 + seed % 8, seed=seed % 25), seed=seed)
+        g = bidirect(base, seed=seed)
+        res = directed_global_mincut(g, leaf_size=10)
+        assert res.value == centralized_directed_global_mincut(g)

