@@ -1,0 +1,159 @@
+"""Engine-vs-legacy backend benchmark (DESIGN.md §6).
+
+Two modes:
+
+* under pytest (part of the benchmark suite): times both backends of
+  the exact max-flow on the shared small instances and asserts output
+  parity inline, recording the speedup in ``extra_info``;
+
+* as a script, the headline experiment of the engine subsystem —
+
+      PYTHONPATH=src python benchmarks/bench_engine.py \
+          [--rows 200] [--cols 200] [--seed 7] [--legacy-budget 60]
+
+  runs the engine backend to completion on a rows x cols grid and
+  races the legacy backend against a wall-clock budget in a subprocess.
+  The legacy labeling path needs *hours* for a 200x200 grid (it is the
+  faithful Õ(D²)-round simulation, ~35 s already at 40x40), so by
+  default the race reports the *lower bound* ``legacy ≥ budget`` and
+  the speedup as ``≥ budget/engine``; pass a large ``--legacy-budget``
+  to let it finish and print the exact ratio.  On small grids (e.g.
+  ``--rows 12 --cols 12``, the CI smoke configuration) both backends
+  finish and the values are asserted equal.
+"""
+
+import argparse
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import PlanarMaxFlow, flow_value_networkx, max_st_flow
+from repro.planar.generators import grid, randomize_weights
+
+
+@pytest.mark.parametrize("name", ["grid-small", "grid-large", "cylinder",
+                                  "delaunay"])
+def test_engine_maxflow_families(benchmark, instances, name):
+    g = instances[name]
+    s, t = 0, g.n - 1
+    solver = PlanarMaxFlow(g, directed=True, backend="engine")
+
+    def run():
+        return solver.solve(s, t)
+
+    res = benchmark(run)
+    assert res.value == flow_value_networkx(g, s, t, directed=True)
+
+    t0 = time.perf_counter()
+    solver.solve(s, t)
+    engine_s = max(time.perf_counter() - t0, 1e-9)
+    t0 = time.perf_counter()
+    legacy = PlanarMaxFlow(g, directed=True,
+                           leaf_size=max(12, g.diameter()))
+    legacy_res = legacy.solve(s, t)
+    legacy_s = time.perf_counter() - t0
+    assert legacy_res.value == res.value
+    assert legacy_res.flow == res.flow
+    benchmark.extra_info.update({
+        "n": g.n, "value": res.value, "probes": res.probes,
+        "legacy_s": round(legacy_s, 4),
+        "speedup": round(legacy_s / engine_s, 1),
+    })
+
+
+def test_engine_workspace_reuse(benchmark, instances):
+    """Repeated solves on one graph reuse the compiled topology and
+    workspace buffers — the steady-state cost of a feasibility service."""
+    g = instances["grid-large"]
+    solver = PlanarMaxFlow(g, directed=True, backend="engine")
+    pairs = [(0, g.n - 1), (1, g.n - 2), (g.n // 2, g.n - 1)]
+
+    def run():
+        return [solver.solve(s, t).value for s, t in pairs]
+
+    values = benchmark(run)
+    assert values == [flow_value_networkx(g, s, t, directed=True)
+                      for s, t in pairs]
+
+
+# ----------------------------------------------------------------------
+# script mode
+# ----------------------------------------------------------------------
+def _make_instance(rows, cols, seed):
+    return randomize_weights(grid(rows, cols), seed=seed,
+                             directed_capacities=True)
+
+
+def _legacy_worker(rows, cols, seed):
+    """Child process: run the legacy backend to completion and print
+    machine-readable results (killed by the parent on budget expiry)."""
+    g = _make_instance(rows, cols, seed)
+    t0 = time.perf_counter()
+    res = max_st_flow(g, 0, g.n - 1, directed=True, backend="legacy")
+    print(f"LEGACY {res.value} {time.perf_counter() - t0:.3f}", flush=True)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rows", type=int, default=200)
+    ap.add_argument("--cols", type=int, default=200)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--legacy-budget", type=float, default=60.0,
+                    help="wall-clock seconds granted to the legacy "
+                         "backend before reporting a lower bound")
+    ap.add_argument("--legacy-worker", action="store_true",
+                    help=argparse.SUPPRESS)
+    args = ap.parse_args(argv)
+
+    if args.legacy_worker:
+        _legacy_worker(args.rows, args.cols, args.seed)
+        return 0
+
+    g = _make_instance(args.rows, args.cols, args.seed)
+    print(f"instance: {args.rows}x{args.cols} grid, n={g.n}, m={g.m}")
+
+    t0 = time.perf_counter()
+    res = max_st_flow(g, 0, g.n - 1, directed=True, backend="engine")
+    engine_s = time.perf_counter() - t0
+    print(f"engine backend : value={res.value} probes={res.probes} "
+          f"time={engine_s:.2f}s")
+
+    t0 = time.perf_counter()
+    ref = flow_value_networkx(g, 0, g.n - 1, directed=True)
+    print(f"networkx oracle: value={ref} time={time.perf_counter() - t0:.2f}s")
+    assert res.value == ref, "engine value does not match the oracle"
+
+    cmd = [sys.executable, __file__, "--legacy-worker",
+           "--rows", str(args.rows), "--cols", str(args.cols),
+           "--seed", str(args.seed)]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=args.legacy_budget)
+        out = next(line for line in proc.stdout.splitlines()
+                   if line.startswith("LEGACY"))
+        _, value, secs = out.split()
+        legacy_s = float(secs)
+        assert int(value) == res.value, "legacy value mismatch"
+        speedup = legacy_s / engine_s
+        print(f"legacy backend : value={value} time={legacy_s:.2f}s")
+        print(f"speedup        : {speedup:.1f}x (exact)")
+        if legacy_s < 0.05:
+            print("note: instance too small for a meaningful wall-clock "
+                  "ratio; use --rows/--cols >= 10")
+    except subprocess.TimeoutExpired:
+        legacy_s = args.legacy_budget
+        speedup = legacy_s / engine_s
+        print(f"legacy backend : still running after the "
+              f"{args.legacy_budget:.0f}s budget (killed)")
+        print(f"speedup        : >= {speedup:.1f}x (lower bound; raise "
+              f"--legacy-budget for the exact ratio)")
+
+    ok = speedup >= 2.0
+    print(f"acceptance (>= 2x): {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

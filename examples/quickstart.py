@@ -48,6 +48,13 @@ def main():
             if shown >= 8:
                 break
 
+    # the same computation on the array engine backend (README.md
+    # "Backend selection"): identical output, no round audit, and fast
+    # enough for production-size instances (benchmarks/bench_engine.py)
+    fast = max_st_flow(g, s, t, directed=True, backend="engine")
+    assert fast.value == result.value and fast.flow == result.flow
+    print("\nengine backend reproduced the value and assignment exactly")
+
 
 if __name__ == "__main__":
     main()

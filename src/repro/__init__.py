@@ -11,8 +11,12 @@ Public API highlights:
 * :func:`repro.core.weighted_girth` — Theorem 1.7
 * :class:`repro.labeling.DualDistanceLabeling` — Theorem 2.1
 * :class:`repro.congest.RoundLedger` — audited CONGEST round counts
+* :mod:`repro.engine` — array/CSR execution backend
+  (``backend="engine"`` on the flow/cut/SSSP entry points) with
+  reusable :class:`~repro.engine.workspace.FlowWorkspace` buffers
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+See README.md for the quickstart and the API-to-theorem table,
+DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
@@ -24,10 +28,11 @@ from repro.core import (
     min_st_cut,
     weighted_girth,
 )
+from repro.engine import CompiledPlanarGraph, FlowWorkspace, compile_graph
 from repro.labeling import DualDistanceLabeling, PrimalDistanceLabeling
 from repro.planar import DualGraph, PlanarGraph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "RoundLedger",
@@ -40,5 +45,8 @@ __all__ = [
     "PrimalDistanceLabeling",
     "PlanarGraph",
     "DualGraph",
+    "CompiledPlanarGraph",
+    "FlowWorkspace",
+    "compile_graph",
     "__version__",
 ]

@@ -21,6 +21,14 @@ potentials, and value δ(f₂) ≥ (1−ε)·OPT.
 Zero-capacity edges are handled as in Section 6.1: contract zero-weight
 dual components (Boruvka MST in the MA model completes the tree), run
 the oracle on the minor, expand.
+
+``backend="engine"`` swaps the MA-model oracle + smoothing for one
+exact Dijkstra on the flat quotient arrays
+(:func:`repro.engine.workspace.dijkstra_undirected`): the potentials
+are then exact dual distances, so the same assignment formulas produce
+the *exact* max flow and min cut (trivially within every (1±ε) bound).
+Use it for production workloads; the legacy backend remains the
+round-audited reproduction of the paper's pipeline.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.aggregation.smoothing import smooth_sssp, verify_smoothness
 from repro.aggregation.sssp_ma import ApproxSsspOracle
 from repro.core.flow_utils import validate_flow
 from repro.core.mincut import verify_st_cut
+from repro.engine import dijkstra_undirected
 from repro.errors import InfeasibleFlowError, SimulationError
 from repro.planar.graph import rev
 from repro.shortcuts.partwise import DualPartwiseHost
@@ -93,19 +102,23 @@ def split_dual(graph, s, t, f):
 
 
 def approx_max_st_flow(graph, s, t, eps=0.25, seed=0, ledger=None,
-                       validate=True):
+                       validate=True, backend="legacy"):
     """Theorem 1.3 + Theorem 6.2 pipeline.
 
     ``graph`` must be undirected-capacity planar (capacities used in
     both directions) with s, t on a common face.
     """
+    if backend not in ("legacy", "engine"):
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"expected one of ('legacy', 'engine')")
     f = common_face(graph, s, t)
     if f is None:
         raise InfeasibleFlowError(
             f"vertices {s} and {t} share no face: the graph is not "
             f"st-planar for this pair")
 
-    host = DualPartwiseHost(graph, ledger=ledger)
+    host = DualPartwiseHost(graph, ledger=ledger) \
+        if backend == "legacy" else None
 
     num_nodes, node_of_dart, f1, f2 = split_dual(graph, s, t, f)
     edges = []
@@ -157,14 +170,23 @@ def approx_max_st_flow(graph, s, t, eps=0.25, seed=0, ledger=None,
         q_weights.append(max(w, 1e-12))
         q_eids.append(eid)
 
-    # ---- approximate SSSP + smoothing ----------------------------------
-    eps_oracle = eps / 4.0
-    oracle = ApproxSsspOracle(len(q_nodes), q_edges, q_weights,
-                              eps_oracle, seed=seed)
+    # ---- dual SSSP: approximate + smoothed, or engine-exact -------------
     src = quotient[find(f1)]
     dst = quotient[find(f2)]
-    d_q = smooth_sssp(oracle, src, eps)
-    verify_smoothness(oracle, d_q, eps)
+    if backend == "engine":
+        oracle = None
+        d_q, q_parents = dijkstra_undirected(len(q_nodes), q_edges,
+                                             q_weights, src)
+        # exact distances satisfy the triangle inequality, so the
+        # potentials need no (1−ε) shrink to stay flow-feasible
+        scale = 1.0
+    else:
+        eps_oracle = eps / 4.0
+        oracle = ApproxSsspOracle(len(q_nodes), q_edges, q_weights,
+                                  eps_oracle, seed=seed)
+        d_q = smooth_sssp(oracle, src, eps)
+        verify_smoothness(oracle, d_q, eps)
+        scale = 1.0 - eps
     if math.isinf(d_q[dst]):
         raise SimulationError("split dual disconnected: no st-cut exists")
 
@@ -172,7 +194,6 @@ def approx_max_st_flow(graph, s, t, eps=0.25, seed=0, ledger=None,
         return d_q[quotient[find(v)]]
 
     # ---- flow assignment ------------------------------------------------
-    scale = 1.0 - eps
     delta = {v: scale * d_node(v) for v in range(num_nodes)}
     value = delta[f2] - delta[f1]
 
@@ -197,7 +218,10 @@ def approx_max_st_flow(graph, s, t, eps=0.25, seed=0, ledger=None,
         validate_flow(graph, s, t, flow, abs(value), directed=False)
 
     # ---- approximate min st-cut (Theorem 6.2) ---------------------------
-    _dist, _pw, parents = oracle.query(src, return_parents=True)
+    if backend == "engine":
+        parents = q_parents
+    else:
+        _dist, _pw, parents = oracle.query(src, return_parents=True)
     cut_eids = []
     node = dst
     guard = 0
@@ -216,8 +240,8 @@ def approx_max_st_flow(graph, s, t, eps=0.25, seed=0, ledger=None,
         raise SimulationError("dual f1-f2 path did not dualize to an "
                               "st-cut")
 
-    ma_rounds = oracle.ma_rounds_spent
-    if ledger is not None:
+    ma_rounds = oracle.ma_rounds_spent if oracle is not None else 0
+    if ledger is not None and backend == "legacy":
         # β=2 virtual-node overhead of the split node (Theorem 4.14)
         ledger.charge(ma_rounds * host.pa_rounds * 2,
                       "approx-flow/ma-simulation",

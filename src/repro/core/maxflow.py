@@ -18,6 +18,17 @@ binary search adds the log λ factor the paper absorbs into Õ(·).
 
 The per-dart capacity convention covers both variants:
 directed edges carry (c(e), 0); undirected edges carry (c(e), c(e)).
+
+Two execution backends share this driver (DESIGN.md §6):
+
+* ``backend="legacy"`` (default) — the round-audited reference path:
+  each probe is one :class:`~repro.labeling.scheme.DualDistanceLabeling`
+  construction over the BDD, exactly as the distributed algorithm works.
+* ``backend="engine"`` — the centralized fast path: probes are
+  negative-cycle sweeps on the compiled CSR dual
+  (:mod:`repro.engine`), with all buffers reused across the O(log λ)
+  probes.  Outputs (value, flow assignment, probe count) are identical;
+  CONGEST round accounting is only meaningful on the legacy backend.
 """
 
 from __future__ import annotations
@@ -26,9 +37,12 @@ from dataclasses import dataclass
 
 from repro.bdd import build_bdd, build_all_dual_bags
 from repro.core.flow_utils import undirected_st_path_darts, validate_flow
+from repro.engine import FlowWorkspace, compile_graph
 from repro.errors import InfeasibleFlowError, NegativeCycleError
 from repro.labeling import DualDistanceLabeling, dual_sssp
 from repro.planar.graph import rev
+
+BACKENDS = ("legacy", "engine")
 
 
 @dataclass
@@ -52,17 +66,29 @@ def dart_capacities(graph, directed=True):
 
 
 class PlanarMaxFlow:
-    """Reusable max-flow solver: the BDD and dual bags are built once
-    per graph and shared by all probes (the dual topology never depends
-    on λ)."""
+    """Reusable max-flow solver: the probe-invariant structures (legacy:
+    BDD and dual bags; engine: compiled CSR dual and workspace buffers)
+    are built once per graph and shared by all probes — the dual
+    topology never depends on λ."""
 
-    def __init__(self, graph, directed=True, leaf_size=None, ledger=None):
+    def __init__(self, graph, directed=True, leaf_size=None, ledger=None,
+                 backend="legacy"):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
         self.graph = graph
         self.directed = directed
         self.ledger = ledger
-        self.bdd = build_bdd(graph, leaf_size=leaf_size, ledger=ledger)
-        self.duals = build_all_dual_bags(self.bdd)
+        self.backend = backend
         self.cap = dart_capacities(graph, directed=directed)
+        if backend == "legacy":
+            self.bdd = build_bdd(graph, leaf_size=leaf_size, ledger=ledger)
+            self.duals = build_all_dual_bags(self.bdd)
+            self.workspace = None
+        else:
+            self.bdd = None
+            self.duals = None
+            self.workspace = FlowWorkspace(compile_graph(graph))
 
     # ------------------------------------------------------------------
     def _lengths(self, path_darts, lam):
@@ -79,7 +105,11 @@ class PlanarMaxFlow:
 
     def _feasible(self, path_darts, lam):
         """λ units of s-t flow exist iff the λ-residual dual has no
-        negative cycle [31]."""
+        negative cycle [31].  Returns a truthy witness (the labeling on
+        the legacy backend) or None."""
+        if self.backend == "engine":
+            self.workspace.set_lambda(lam)
+            return None if self.workspace.has_negative_cycle() else True
         try:
             lab = DualDistanceLabeling(self.bdd, self._lengths(path_darts,
                                                                lam),
@@ -94,9 +124,13 @@ class PlanarMaxFlow:
             raise InfeasibleFlowError("s == t")
         g = self.graph
         path = undirected_st_path_darts(g, s, t)
-        if self.ledger is not None:
+        # round accounting is audited on the legacy backend only; a
+        # partial audit would be worse than none (DESIGN.md §2)
+        if self.ledger is not None and self.backend == "legacy":
             self.ledger.charge_bfs(g.eccentricity(s), "maxflow/find-path",
                                    ref="Theorem 1.2")
+        if self.backend == "engine":
+            self.workspace.bind_flow_problem(self.cap, path)
 
         # binary search the max feasible λ; λ=0 is feasible (lengths are
         # the nonnegative capacities)
@@ -126,10 +160,18 @@ class PlanarMaxFlow:
 
     # ------------------------------------------------------------------
     def _assignment(self, lab, path_darts, lam):
-        """Flow from the dual SSSP distances [31] (Section 6.1)."""
+        """Flow from the dual SSSP distances [31] (Section 6.1).
+
+        Both backends compute the exact distances from face 0, so the
+        assignment is identical: shortest-path distances are unique even
+        when the trees are not.
+        """
         g = self.graph
-        res = dual_sssp(lab, source=0, ledger=self.ledger)
-        dist = res.dist
+        if self.backend == "engine":
+            self.workspace.set_lambda(lam)
+            dist = self.workspace.sssp(0)
+        else:
+            dist = dual_sssp(lab, source=0, ledger=self.ledger).dist
         on_path = set(path_darts)
         flow = {}
         for eid in range(g.m):
@@ -146,8 +188,8 @@ class PlanarMaxFlow:
 
 
 def max_st_flow(graph, s, t, directed=True, leaf_size=None, ledger=None,
-                validate=True):
+                validate=True, backend="legacy"):
     """One-shot exact maximum st-flow (Theorem 1.2)."""
     solver = PlanarMaxFlow(graph, directed=directed, leaf_size=leaf_size,
-                           ledger=ledger)
+                           ledger=ledger, backend=backend)
     return solver.solve(s, t, validate=validate)

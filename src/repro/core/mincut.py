@@ -34,10 +34,16 @@ class MinCutResult:
     flow: dict
 
 
-def min_st_cut(graph, s, t, directed=True, leaf_size=None, ledger=None):
-    """Exact minimum st-cut (Theorem 6.1)."""
+def min_st_cut(graph, s, t, directed=True, leaf_size=None, ledger=None,
+               backend="legacy"):
+    """Exact minimum st-cut (Theorem 6.1).
+
+    ``backend="engine"`` runs the underlying max-flow on the compiled
+    array kernel of :mod:`repro.engine` (identical output, no round
+    audit); the residual sweep below is backend-independent.
+    """
     solver = PlanarMaxFlow(graph, directed=directed, leaf_size=leaf_size,
-                           ledger=ledger)
+                           ledger=ledger, backend=backend)
     res = solver.solve(s, t)
 
     # residual capacities per dart
@@ -49,7 +55,7 @@ def min_st_cut(graph, s, t, directed=True, leaf_size=None, ledger=None):
 
     # source side = residual reachability from s (the R' SSSP of §6.2,
     # charged as one more labeling-scale computation)
-    if ledger is not None:
+    if ledger is not None and backend == "legacy":
         ledger.charge(graph.eccentricity(s) ** 2 + 1, "mincut/residual-sssp",
                       ref="Theorem 6.1 via [27] SSSP")
     side = {s}

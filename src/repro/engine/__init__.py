@@ -1,0 +1,38 @@
+"""repro.engine — flat-array execution backend for the planar flow stack.
+
+The distributed algorithms in :mod:`repro.core` and :mod:`repro.labeling`
+are *simulations*: they follow the paper's knowledge-level protocol
+(BDD, labels, minor aggregation) and charge CONGEST rounds to a ledger.
+That fidelity is expensive in wall-clock time — every Miller–Naor
+feasibility probe rebuilds dict-keyed dual capacities and labeling
+structures from scratch, which caps the instance sizes the benchmarks
+can reach.
+
+This package is the centralized fast path.  It compiles an embedded
+:class:`~repro.planar.graph.PlanarGraph` once into flat dart/face arrays
+with a CSR view of the dual (:mod:`repro.engine.csr`) and keeps the
+distance / parent / queue buffers of the shortest-path kernels alive in
+a reusable :class:`~repro.engine.workspace.FlowWorkspace` across the
+O(log λ) binary-search probes.  The engine produces *bit-identical
+outputs* to the legacy dict backend (flow values and assignments, cut
+bisections, dual distances) — parity is enforced by
+``tests/test_engine_parity.py`` — it just gets there orders of magnitude
+faster (``benchmarks/bench_engine.py``).
+
+Select it per call with ``backend="engine"`` on
+:func:`repro.core.max_st_flow`, :func:`repro.core.min_st_cut`,
+:func:`repro.core.approx_max_st_flow` and
+:meth:`repro.planar.dual.DualGraph.bellman_ford`; the default
+``backend="legacy"`` keeps the round-audited reference path.  See
+DESIGN.md §6 for the architecture.
+"""
+
+from repro.engine.csr import CompiledPlanarGraph, compile_graph
+from repro.engine.workspace import FlowWorkspace, dijkstra_undirected
+
+__all__ = [
+    "CompiledPlanarGraph",
+    "compile_graph",
+    "FlowWorkspace",
+    "dijkstra_undirected",
+]

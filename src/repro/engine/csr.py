@@ -1,0 +1,110 @@
+"""One-shot compilation of an embedded planar graph into flat arrays.
+
+A :class:`CompiledPlanarGraph` freezes everything about the topology
+that the flow/cut/SSSP kernels touch per probe into plain Python lists
+indexed by dart, vertex or face id:
+
+* per-dart arrays — ``dart_head``, ``dart_tail``, ``face_left`` (the
+  face containing the dart), ``face_right`` (= ``face_left[rev(d)]``);
+* the dual topology in CSR form — the dual arc of dart ``d`` runs
+  ``face_left[d] → face_right[d]`` (Sections 3 and 6 of the paper), and
+  the arcs are grouped by tail face so an SSSP relaxation scans
+  ``dual_arc_dart[dual_indptr[f] : dual_indptr[f+1]]`` contiguously;
+* the primal rotation system in CSR form (``prim_indptr`` /
+  ``prim_darts``) for residual-reachability sweeps.
+
+Arc *lengths* are deliberately not part of the compiled object: the
+Miller–Naor binary search changes them every probe, so they live in the
+reusable buffers of :class:`repro.engine.workspace.FlowWorkspace`, keyed
+by the ``slot_of_dart`` permutation computed here.
+
+Compilation is cached on the graph instance (:func:`compile_graph`), so
+every solver, benchmark and test sharing a graph shares one compiled
+topology — the dual topology never depends on λ, only the lengths do.
+"""
+
+from __future__ import annotations
+
+
+class CompiledPlanarGraph:
+    """Flat-array snapshot of a :class:`~repro.planar.graph.PlanarGraph`.
+
+    The source graph's faces are computed (and therefore validated)
+    during compilation; dart, vertex and face ids are the global ids of
+    the source graph, so results translate back without any mapping.
+    """
+
+    __slots__ = (
+        "graph", "n", "m", "num_darts", "num_faces",
+        "dart_head", "dart_tail", "face_left", "face_right",
+        "dual_indptr", "dual_arc_dart", "dual_arc_head", "slot_of_dart",
+        "prim_indptr", "prim_darts",
+    )
+
+    def __init__(self, graph):
+        self.graph = graph
+        n = graph.n
+        m = graph.m
+        nd = 2 * m
+        self.n = n
+        self.m = m
+        self.num_darts = nd
+
+        dart_head = [0] * nd
+        dart_tail = [0] * nd
+        for eid, (u, v) in enumerate(graph.edges):
+            d = 2 * eid
+            dart_tail[d] = u
+            dart_head[d] = v
+            dart_tail[d + 1] = v
+            dart_head[d + 1] = u
+        self.dart_head = dart_head
+        self.dart_tail = dart_tail
+
+        face_left = list(graph.face_of)
+        self.face_left = face_left
+        self.face_right = [face_left[d ^ 1] for d in range(nd)]
+        num_faces = len(graph.faces)
+        self.num_faces = num_faces
+
+        # dual CSR: one arc per dart, grouped by tail face
+        indptr = [0] * (num_faces + 1)
+        for d in range(nd):
+            indptr[face_left[d] + 1] += 1
+        for f in range(num_faces):
+            indptr[f + 1] += indptr[f]
+        fill = indptr[:num_faces]
+        arc_dart = [0] * nd
+        arc_head = [0] * nd
+        slot_of_dart = [0] * nd
+        for d in range(nd):
+            f = face_left[d]
+            s = fill[f]
+            fill[f] = s + 1
+            arc_dart[s] = d
+            arc_head[s] = face_left[d ^ 1]
+            slot_of_dart[d] = s
+        self.dual_indptr = indptr
+        self.dual_arc_dart = arc_dart
+        self.dual_arc_head = arc_head
+        self.slot_of_dart = slot_of_dart
+
+        # primal CSR: out-darts per vertex in rotation order
+        prim_indptr = [0] * (n + 1)
+        for v in range(n):
+            prim_indptr[v + 1] = prim_indptr[v] + len(graph.rotations[v])
+        self.prim_indptr = prim_indptr
+        self.prim_darts = [d for rot in graph.rotations for d in rot]
+
+def compile_graph(graph):
+    """Compiled topology of ``graph``, cached on the instance.
+
+    The compiled object is immutable topology; capacities/weights are
+    read through to the source graph at use time, so only *structural*
+    edits (which create a new :class:`PlanarGraph` anyway) invalidate it.
+    """
+    cached = getattr(graph, "_engine_compiled", None)
+    if cached is None:
+        cached = CompiledPlanarGraph(graph)
+        graph._engine_compiled = cached
+    return cached

@@ -1,0 +1,434 @@
+"""Reusable shortest-path workspaces over the compiled dual.
+
+A :class:`FlowWorkspace` owns every buffer the dual shortest-path
+kernels need — per-slot arc lengths, distance / parent / relaxation-
+count arrays, the in-queue bitmap — sized once for a
+:class:`~repro.engine.csr.CompiledPlanarGraph` and *reused across all
+probes* of a Miller–Naor binary search (and across solves on the same
+graph).  The legacy backend reallocates dict-keyed equivalents of all of
+these per probe; keeping them alive, and running the relaxations as
+whole-array operations, is where the engine's speedup on large
+instances comes from.
+
+Two kernels run on the buffers:
+
+* :meth:`FlowWorkspace.has_negative_cycle` — feasibility probe: seeds
+  *every* face at distance 0 (a virtual super-source), so a negative
+  cycle anywhere in G* is found, matching the labeling's global
+  detection (Lemma 5.19);
+* :meth:`FlowWorkspace.sssp` — exact distances from one dual node, used
+  for the flow assignment and for engine-backed dual SSSP.
+
+Both have a vectorized synchronous Bellman–Ford implementation (used
+when numpy is importable) and a queue-based SPFA fallback in pure
+Python with the same relaxation-count negative-cycle detection as the
+legacy reference (:func:`repro.planar.dual.bellman_ford_arcs`).  The
+vectorized path detects negative cycles early with an exact
+*improving-arc cycle* certificate: arcs with ``dist[tail] + len <
+dist[head]`` (all against the same distance snapshot) that close a
+cycle telescope to a negative cycle length, and the cycle test is a
+pointer-doubling sweep; the classical |faces|-pass limit remains as the
+completeness backstop.  Distances are computed in float64, which is
+exact for the paper's polynomially-bounded integral lengths, and
+returned as Python ints wherever integral so both backends produce
+identical values.
+
+Residual lengths follow Section 6.1:
+``len_λ(d) = cap(d) − λ·[d ∈ P] + λ·[rev(d) ∈ P]``.  The workspace
+stores the λ-independent base once (:meth:`bind_flow_problem`) and each
+probe only copies the base row and patches the O(|P|) path slots
+(:meth:`set_lambda`).
+
+:func:`dijkstra_undirected` is the free-standing nonnegative-weights
+kernel used by the engine backend of the Hassin approximate-flow
+pipeline, which runs on a quotient of the split dual rather than on the
+compiled dual itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import os
+from collections import deque
+
+from repro.errors import NegativeCycleError
+
+INF = math.inf
+
+try:  # numpy ships with the toolchain; the SPFA fallback covers its absence
+    if os.environ.get("REPRO_ENGINE_NO_NUMPY"):
+        raise ImportError("numpy disabled via REPRO_ENGINE_NO_NUMPY")
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the env toggle
+    _np = None
+
+
+class _VectorDualKernel:
+    """Whole-array synchronous Bellman–Ford over the compiled dual.
+
+    Arc slot ``s`` of the dual CSR is reinterpreted *in-arc-wise*: the
+    out-slots of face ``f`` hold the darts of ``f``, and the reversed
+    dart of each is precisely an arc whose head is ``f`` — so the same
+    ``indptr`` segments the in-arcs of every face, and one
+    ``minimum.reduceat`` per pass computes every face's best incoming
+    candidate.
+    """
+
+    def __init__(self, compiled):
+        np = _np
+        self.nf = compiled.num_faces
+        self.indptr = np.asarray(compiled.dual_indptr, dtype=np.int64)
+        self.starts = self.indptr[:-1]
+        arc_dart = np.asarray(compiled.dual_arc_dart, dtype=np.int64)
+        #: dart of the in-arc at each slot
+        self.in_dart = arc_dart ^ 1
+        face_left = np.asarray(compiled.face_left, dtype=np.int64)
+        #: tail face of the in-arc at each slot
+        self.in_tail = face_left[self.in_dart]
+        sod = np.asarray(compiled.slot_of_dart, dtype=np.int64)
+        #: in-layout slot of the arc of dart ``e`` (= out-slot of rev e)
+        self.in_slot_of_dart = sod[np.arange(len(sod)) ^ 1]
+        sizes = np.diff(self.indptr)
+        self._seg_of_slot = np.repeat(np.arange(self.nf), sizes)
+        self._arange_slots = np.arange(len(arc_dart))
+        #: pointer-doubling steps covering any simple chain of faces
+        self._doublings = max(1, (self.nf + 1).bit_length())
+        self.len_in = np.zeros(len(arc_dart), dtype=np.float64)
+
+    def load_lengths_by_dart(self, lengths):
+        np = _np
+        if isinstance(lengths, dict):
+            flat = [lengths[d] for d in range(len(self.in_dart))]
+        else:
+            flat = lengths
+        self.len_in = np.asarray(flat, dtype=np.float64)[self.in_dart]
+
+    def _parent_cycle(self, parent_slot):
+        """True iff the accumulated predecessor graph certifies a
+        negative cycle.
+
+        A cycle of predecessor arcs telescopes to total length ≤ 0 (each
+        arc satisfies ``len ≤ dist[head] − dist[tail]`` from the moment
+        it last relaxed its head), so a pointer-doubling sweep flags
+        candidates and an explicit walk sums one concrete cycle to rule
+        out the zero-length edge case exactly.
+        """
+        np = _np
+        sent = self.nf
+        parent = np.full(self.nf + 1, sent, dtype=np.int64)
+        has = parent_slot >= 0
+        parent[:-1][has] = self.in_tail[parent_slot[has]]
+        hop = parent
+        for _ in range(self._doublings):
+            hop = hop[hop]
+            if (hop[:-1] == sent).all():
+                return False
+        flagged = np.nonzero(hop[:-1] != sent)[0]
+        if len(flagged) == 0:
+            return False
+        # walk one flagged node onto its cycle, then sum the cycle
+        v = int(flagged[0])
+        for _ in range(self.nf):
+            v = int(parent[v])
+        start = v
+        total = 0.0
+        while True:
+            s = int(parent_slot[v])
+            total += float(self.len_in[s])
+            v = int(parent[v])
+            if v == start:
+                break
+        return total < 0
+
+    def _run(self, dist, track_parents=False):
+        """Relax until fixpoint; True iff a negative cycle was proven.
+
+        Synchronous Bellman–Ford in whole-array passes.  Feasible
+        instances converge in about as many passes as the hop radius of
+        the shortest-path forest; negative cycles are caught early by
+        the predecessor-graph certificate (checked periodically) with
+        the classical |faces|-pass limit as the completeness backstop.
+        """
+        np = _np
+        starts = self.starts
+        in_tail = self.in_tail
+        len_in = self.len_in
+        seg_of_slot = self._seg_of_slot
+        arange_slots = self._arange_slots
+        nslots = len(len_in)
+        parent_slot = np.full(self.nf, -1, dtype=np.int64)
+        passes = 0
+        next_check = 64
+        limit = self.nf + 1
+        while True:
+            cand = dist[in_tail] + len_in
+            seg_min = np.minimum.reduceat(cand, starts)
+            improved = seg_min < dist
+            if not improved.any():
+                return False
+            # predecessor bookkeeping: the first arc achieving seg_min
+            # (cheap passes early on; certificates only matter later)
+            if track_parents or passes >= 32:
+                tight = cand == seg_min[seg_of_slot]
+                idx = np.where(tight, arange_slots, nslots)
+                first = np.minimum.reduceat(idx, starts)
+                parent_slot[improved] = first[improved]
+            np.minimum(dist, seg_min, out=dist)
+            passes += 1
+            if passes >= next_check:
+                if passes > limit or self._parent_cycle(parent_slot):
+                    return True
+                next_check = passes + 32
+
+    def sssp(self, source):
+        np = _np
+        dist = np.full(self.nf, np.inf, dtype=np.float64)
+        dist[source] = 0.0
+        if self._run(dist):
+            raise NegativeCycleError(where="engine-sssp")
+        return dist
+
+    def tight_parents(self, dist):
+        """One tight in-arc dart per face under ``dist`` (-1 where none:
+        the source and unreached faces)."""
+        np = _np
+        cand = dist[self.in_tail] + self.len_in
+        # isfinite excludes unreached faces (inf == inf would otherwise
+        # fabricate parents among them)
+        tight = (cand == dist[self._seg_of_slot]) & np.isfinite(cand)
+        nslots = len(cand)
+        idx = np.where(tight, self._arange_slots, nslots)
+        first = np.minimum.reduceat(idx, self.starts)
+        parent = np.full(self.nf, -1, dtype=np.int64)
+        has = first < nslots
+        parent[has] = self.in_dart[first[has]]
+        return parent
+
+
+def _as_scalar(x):
+    """float64 distance -> the Python number the legacy backend yields."""
+    if x == INF or x == -INF:
+        return x if isinstance(x, float) else float(x)
+    f = float(x)
+    return int(f) if f.is_integer() else f
+
+
+class FlowWorkspace:
+    """Preallocated dual shortest-path buffers for one compiled graph."""
+
+    def __init__(self, compiled):
+        self.compiled = compiled
+        nd = compiled.num_darts
+        nf = compiled.num_faces
+        #: per-slot arc lengths (out-slot order of the dual CSR)
+        self.arc_len = [0] * nd
+        self._base_len = [0] * nd
+        #: face id -> distance, valid after :meth:`sssp`
+        self.dist = [INF] * nf
+        #: face id -> dart of a tight parent arc (-1 at source/unreached)
+        self.parent_dart = [-1] * nf
+        self._cnt = [0] * nf
+        self._inq = bytearray(nf)
+        self._inf_row = [INF] * nf
+        self._zero_row = [0] * nf
+        self._path_minus = []
+        self._path_plus = []
+        self._vec = _VectorDualKernel(compiled) if _np is not None else None
+        #: kernel invocation counters (benchmark introspection)
+        self.sssp_runs = 0
+        self.probe_runs = 0
+
+    # ------------------------------------------------------------------
+    # length loading
+    # ------------------------------------------------------------------
+    def load_lengths(self, lengths):
+        """Load arbitrary per-dart lengths (dict or sequence) into the
+        arc-length buffers."""
+        arc_dart = self.compiled.dual_arc_dart
+        al = self.arc_len
+        for s in range(len(al)):
+            al[s] = lengths[arc_dart[s]]
+        if self._vec is not None:
+            self._vec.load_lengths_by_dart(lengths)
+
+    def bind_flow_problem(self, cap, path_darts):
+        """Fix the λ-independent part of the residual lengths: ``cap``
+        per dart plus the Miller–Naor path P whose darts get ∓λ."""
+        arc_dart = self.compiled.dual_arc_dart
+        base = self._base_len
+        for s in range(len(base)):
+            base[s] = cap[arc_dart[s]]
+        slot = self.compiled.slot_of_dart
+        self._path_minus = [slot[d] for d in path_darts]
+        self._path_plus = [slot[d ^ 1] for d in path_darts]
+        if self._vec is not None:
+            v = self._vec
+            flat = [cap[d] for d in range(self.compiled.num_darts)]
+            self._vec_base = _np.asarray(flat,
+                                         dtype=_np.float64)[v.in_dart]
+            iso = v.in_slot_of_dart
+            self._vec_minus = _np.asarray(
+                [int(iso[d]) for d in path_darts], dtype=_np.int64)
+            self._vec_plus = _np.asarray(
+                [int(iso[d ^ 1]) for d in path_darts], dtype=_np.int64)
+
+    def set_lambda(self, lam):
+        """Materialize ``len_λ`` for the bound flow problem: one row
+        copy plus O(|P|) patches."""
+        al = self.arc_len
+        al[:] = self._base_len
+        if lam:
+            for s in self._path_minus:
+                al[s] -= lam
+            for s in self._path_plus:
+                al[s] += lam
+        if self._vec is not None:
+            li = self._vec_base.copy()
+            if lam:
+                li[self._vec_minus] -= lam
+                li[self._vec_plus] += lam
+            self._vec.len_in = li
+
+    # ------------------------------------------------------------------
+    # kernels
+    # ------------------------------------------------------------------
+    def has_negative_cycle(self):
+        """True iff G* has a negative cycle under the current lengths.
+
+        Virtual super-source Bellman–Ford: every face starts at 0, so
+        detection is global (not limited to one source's reachable set),
+        matching the per-bag detection of the labeling scheme.
+        """
+        self.probe_runs += 1
+        if self._vec is not None:
+            dist = _np.zeros(self._vec.nf, dtype=_np.float64)
+            return self._vec._run(dist)
+        return self._spfa_probe()
+
+    def sssp(self, source, track_parents=False):
+        """Exact SSSP over the dual arcs from face ``source`` under the
+        current lengths (negative lengths allowed).
+
+        Fills and returns the ``dist`` buffer (copy before the next
+        kernel call if you need to keep it); unreachable faces get
+        ``math.inf``.  Raises :class:`NegativeCycleError` on a negative
+        cycle *reachable from the source*.  With ``track_parents`` the
+        ``parent_dart`` buffer gets the dart of one tight incoming arc
+        per face (which tight arc is unspecified among ties).
+        """
+        self.sssp_runs += 1
+        if self._vec is not None:
+            nd = self._vec.sssp(source)
+            self.dist[:] = [_as_scalar(x) for x in nd]
+            if track_parents:
+                pd = self._vec.tight_parents(nd)
+                pd[source] = -1
+                self.parent_dart[:] = [int(x) for x in pd]
+            return self.dist
+        return self._spfa_sssp(source, track_parents)
+
+    # ------------------------------------------------------------------
+    # pure-Python fallbacks (numpy-free environments)
+    # ------------------------------------------------------------------
+    def _spfa_probe(self):
+        c = self.compiled
+        nf = c.num_faces
+        dist = self.dist
+        dist[:] = self._zero_row
+        cnt = self._cnt
+        cnt[:] = self._zero_row
+        inq = self._inq
+        inq[:] = b"\x01" * nf
+        indptr = c.dual_indptr
+        arc_head = c.dual_arc_head
+        al = self.arc_len
+        limit = nf + 1
+        q = deque(range(nf))
+        while q:
+            u = q.popleft()
+            inq[u] = 0
+            du = dist[u]
+            for s in range(indptr[u], indptr[u + 1]):
+                h = arc_head[s]
+                nd = du + al[s]
+                if nd < dist[h]:
+                    dist[h] = nd
+                    ch = cnt[h] + 1
+                    if ch > limit:
+                        return True
+                    cnt[h] = ch
+                    if not inq[h]:
+                        inq[h] = 1
+                        q.append(h)
+        return False
+
+    def _spfa_sssp(self, source, track_parents):
+        c = self.compiled
+        nf = c.num_faces
+        dist = self.dist
+        dist[:] = self._inf_row
+        cnt = self._cnt
+        cnt[:] = self._zero_row
+        inq = self._inq
+        inq[:] = bytes(nf)
+        parent = self.parent_dart
+        if track_parents:
+            parent[:] = [-1] * nf
+        indptr = c.dual_indptr
+        arc_head = c.dual_arc_head
+        arc_dart = c.dual_arc_dart
+        al = self.arc_len
+        limit = nf + 1
+        dist[source] = 0
+        inq[source] = 1
+        q = deque([source])
+        while q:
+            u = q.popleft()
+            inq[u] = 0
+            du = dist[u]
+            for s in range(indptr[u], indptr[u + 1]):
+                h = arc_head[s]
+                nd = du + al[s]
+                if nd < dist[h]:
+                    dist[h] = nd
+                    if track_parents:
+                        parent[h] = arc_dart[s]
+                    ch = cnt[h] + 1
+                    if ch > limit:
+                        raise NegativeCycleError(where="engine-sssp")
+                    cnt[h] = ch
+                    if not inq[h]:
+                        inq[h] = 1
+                        q.append(h)
+        return dist
+
+
+def dijkstra_undirected(num_nodes, edges, weights, source):
+    """Dijkstra over an undirected edge list with nonnegative weights.
+
+    Returns ``(dist, parents)`` where ``parents[v]`` is ``(prev_node,
+    edge_index)`` on a shortest-path tree (``None`` at the source and on
+    unreachable nodes) — the same parent convention as
+    :meth:`repro.aggregation.sssp_ma.ApproxSsspOracle.query`, so the
+    Hassin cut-path reconstruction is backend-agnostic.
+    """
+    adj = [[] for _ in range(num_nodes)]
+    for idx, ((a, b), w) in enumerate(zip(edges, weights)):
+        adj[a].append((b, w, idx))
+        adj[b].append((a, w, idx))
+    dist = [INF] * num_nodes
+    parents = [None] * num_nodes
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        du, u = heapq.heappop(heap)
+        if du > dist[u]:
+            continue
+        for v, w, idx in adj[u]:
+            nd = du + w
+            if nd < dist[v]:
+                dist[v] = nd
+                parents[v] = (u, idx)
+                heapq.heappush(heap, (nd, v))
+    return dist, parents

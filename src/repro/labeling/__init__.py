@@ -6,7 +6,7 @@ from repro.labeling.primal import (
     decode_primal_distance,
 )
 from repro.labeling.scheme import DualDistanceLabeling
-from repro.labeling.sssp import DualSsspResult, dual_sssp
+from repro.labeling.sssp import DualSsspResult, dual_sssp, dual_sssp_engine
 
 __all__ = [
     "Label",
@@ -15,6 +15,7 @@ __all__ = [
     "DualDistanceLabeling",
     "DualSsspResult",
     "dual_sssp",
+    "dual_sssp_engine",
     "PrimalDistanceLabeling",
     "decode_primal_distance",
 ]

@@ -7,12 +7,21 @@ after which every vertex decodes the distance of each face containing
 it; the shortest-path tree is then marked with one part-wise aggregation
 on G* (each node keeps the incident arc minimizing
 ``dist(s, f) + w(f→g)``).
+
+:func:`dual_sssp_engine` produces the same :class:`DualSsspResult`
+(identical distances, tree darts and parent darts — the tree-marking
+tie-break is replicated exactly) without a labeling: distances come
+from one array Bellman–Ford on the compiled CSR dual of
+:mod:`repro.engine`, with buffers reusable across calls via the
+``workspace`` argument.  Use it when you need dual SSSPs fast and do
+not need the round audit or the label data structures.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine import FlowWorkspace, compile_graph
 from repro.labeling.labels import INF, decode_distance
 from repro.planar.graph import rev
 
@@ -48,14 +57,28 @@ def dual_sssp(labeling, source, ledger=None):
                                 "dual-sssp/broadcast-source-label",
                                 ref="Section 5.4")
 
-    # tree marking: for every face g, the best incoming arc
+    tree_darts, parent_dart = _mark_tree(graph, dist, labeling.lengths,
+                                         source)
+
+    if ledger is not None:
+        ledger.charge(1, "dual-sssp/mark-tree",
+                      detail="one PA task on G*", ref="Lemma 4.9 / §5.4")
+
+    return DualSsspResult(source=source, dist=dist,
+                          tree_darts=tree_darts, parent_dart=parent_dart)
+
+
+def _mark_tree(graph, dist, lengths, source):
+    """Tree marking: for every face g, the best incoming tight arc
+    (deterministic ``(dist + length, dart)`` tie-break shared by both
+    backends)."""
     best = {}
     for d in graph.darts():
         f = graph.face_of[d]
         g = graph.face_of[rev(d)]
-        if dist.get(f, INF) is INF:
+        if dist.get(f, INF) == INF:
             continue
-        cand = dist[f] + labeling.lengths[d]
+        cand = dist[f] + lengths[d]
         key = (cand, d)
         if g not in best or key < best[g]:
             best[g] = key
@@ -68,10 +91,25 @@ def dual_sssp(labeling, source, ledger=None):
         if dist.get(g, INF) < INF and abs(cand - dist[g]) < 1e-9:
             tree_darts.add(d)
             parent_dart[g] = d
+    return tree_darts, parent_dart
 
-    if ledger is not None:
-        ledger.charge(1, "dual-sssp/mark-tree",
-                      detail="one PA task on G*", ref="Lemma 4.9 / §5.4")
 
+def dual_sssp_engine(graph, lengths, source, workspace=None):
+    """Array-backed shortest-path tree from dual node ``source`` in G*.
+
+    Output-equivalent to :func:`dual_sssp` run on a
+    :class:`~repro.labeling.scheme.DualDistanceLabeling` with the same
+    ``lengths`` (dart -> arc length, negatives allowed), but computed on
+    the compiled CSR dual.  Pass a
+    :class:`~repro.engine.workspace.FlowWorkspace` to reuse buffers
+    across calls; raises :class:`~repro.errors.NegativeCycleError` on a
+    reachable negative cycle.
+    """
+    ws = workspace if workspace is not None \
+        else FlowWorkspace(compile_graph(graph))
+    ws.load_lengths(lengths)
+    dist_row = ws.sssp(source)
+    dist = {f: dist_row[f] for f in range(ws.compiled.num_faces)}
+    tree_darts, parent_dart = _mark_tree(graph, dist, lengths, source)
     return DualSsspResult(source=source, dist=dist,
                           tree_darts=tree_darts, parent_dart=parent_dart)

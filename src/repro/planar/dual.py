@@ -32,6 +32,7 @@ class DualGraph:
         self.primal = primal
         self.num_nodes = primal.num_faces()
         self.face_of = primal.face_of
+        self._workspace = None
 
     # ------------------------------------------------------------------
     # structure
@@ -74,16 +75,38 @@ class DualGraph:
     # ------------------------------------------------------------------
     # centralized references (used by tests and leaf-bag computations)
     # ------------------------------------------------------------------
-    def bellman_ford(self, source, lengths):
+    def bellman_ford(self, source, lengths, backend="legacy"):
         """Exact SSSP on the dual arcs with arbitrary (± integral) lengths.
 
         ``lengths``: dart -> length.  Returns dict face -> distance.
         Raises :class:`NegativeCycleError` if a negative cycle is
         reachable from ``source``.
+
+        ``backend="engine"`` runs on the compiled CSR dual with a
+        workspace cached on this instance (same distances, reusable
+        buffers — the fast path for repeated queries on one graph).
         """
+        if backend == "engine":
+            return {f: d for f, d in
+                    enumerate(self.workspace(lengths).sssp(source))}
+        if backend != "legacy":
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of ('legacy', 'engine')")
         arcs = [(self.face_of[d], self.face_of[rev(d)], lengths[d])
                 for d in self.primal.darts()]
         return bellman_ford_arcs(self.num_nodes, arcs, source)
+
+    def workspace(self, lengths=None):
+        """The cached :class:`~repro.engine.workspace.FlowWorkspace`
+        over this dual's compiled topology, optionally loaded with
+        per-dart ``lengths``."""
+        if self._workspace is None:
+            from repro.engine import FlowWorkspace, compile_graph
+
+            self._workspace = FlowWorkspace(compile_graph(self.primal))
+        if lengths is not None:
+            self._workspace.load_lengths(lengths)
+        return self._workspace
 
     def all_faces_of_vertex(self, v):
         """Face ids of all faces containing vertex ``v``."""
