@@ -1,5 +1,16 @@
 """E5 (Theorem 1.5): directed global min-cut — exact on strongly
-connected planar digraphs, Õ(D²) rounds."""
+connected planar digraphs, Õ(D²) rounds.
+
+Each run also races the engine backend (DESIGN.md §7) on the same
+instance and asserts *full* result parity — value, side, cut edges and
+witness cycle darts are bit-identical by construction, since the engine
+kernel replicates the legacy two-best Dijkstra tuple for tuple.  The
+engine column isolates the kernel gain: both backends share the BDD
+construction, so the per-``f ∈ F_X`` constrained-SSSP speedup is
+diluted by that common cost on small instances.
+"""
+
+import time
 
 import pytest
 
@@ -20,11 +31,45 @@ def test_global_mincut(benchmark, k):
     def run():
         return directed_global_mincut(g, leaf_size=12, ledger=led)
 
+    t0 = time.perf_counter()
     res = benchmark.pedantic(run, rounds=1, iterations=1)
+    legacy_s = max(time.perf_counter() - t0, 1e-9)  # the pedantic call
     assert res.value == ref
     d = g.diameter()
+
+    t0 = time.perf_counter()
+    eng = directed_global_mincut(g, leaf_size=12, backend="engine")
+    engine_s = max(time.perf_counter() - t0, 1e-9)
+    assert eng == res  # bit-identical: value, side, cut edges, darts
+
     benchmark.extra_info.update({
         "n": g.n, "D": d, "cut": res.value,
         "congest_rounds": led.total(),
         "rounds_per_D2": round(led.total() / d ** 2, 2),
+        "engine_s": round(engine_s, 4),
+        "engine_speedup": round(legacy_s / engine_s, 1),
+    })
+
+
+def test_global_mincut_engine_large(benchmark):
+    """Engine backend on an instance past the legacy benchmark sizes;
+    the oracle (n−1 max-flow pairs) is still the correctness anchor."""
+    base = randomize_weights(random_planar(45, seed=5), seed=5)
+    g = bidirect(base, seed=5)
+
+    def run():
+        return directed_global_mincut(g, leaf_size=14, backend="engine")
+
+    res = benchmark(run)
+    assert res.value == centralized_directed_global_mincut(g)
+
+    t0 = time.perf_counter()
+    legacy = directed_global_mincut(g, leaf_size=14)
+    legacy_s = time.perf_counter() - t0
+    assert legacy == res
+    engine_s = max(benchmark.stats.stats.mean, 1e-9)
+    benchmark.extra_info.update({
+        "n": g.n, "cut": res.value,
+        "legacy_s": round(legacy_s, 4),
+        "engine_speedup": round(legacy_s / engine_s, 1),
     })

@@ -1,0 +1,84 @@
+"""Docs consistency check (run by CI).
+
+Two guarantees keep docs/API.md a *curated but enforced* reference:
+
+1. every relative markdown link in README.md and docs/API.md resolves
+   to a file in the repository;
+2. every public export (`__all__`) of the repro packages is mentioned
+   in docs/API.md — adding an export without documenting it fails the
+   build.
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+import importlib
+import os
+import re
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOCS = ["README.md", os.path.join("docs", "API.md"), "DESIGN.md"]
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.labeling",
+    "repro.planar",
+    "repro.engine",
+    "repro.congest",
+    "repro.aggregation",
+    "repro.shortcuts",
+    "repro.bdd",
+    "repro.analysis",
+    "repro.baselines",
+]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#]+)(?:#[^)]*)?\)")
+
+
+def check_links():
+    errors = []
+    for doc in DOCS:
+        path = os.path.join(ROOT, doc)
+        text = open(path, encoding="utf-8").read()
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                errors.append(f"{doc}: broken link -> {target}")
+    return errors
+
+
+def check_api_coverage():
+    api = open(os.path.join(ROOT, "docs", "API.md"),
+               encoding="utf-8").read()
+    errors = []
+    for modname in PUBLIC_MODULES:
+        mod = importlib.import_module(modname)
+        for name in getattr(mod, "__all__", []):
+            if name == "__version__":
+                continue
+            if not re.search(rf"(?<![A-Za-z0-9_]){re.escape(name)}"
+                             rf"(?![A-Za-z0-9_])", api):
+                errors.append(
+                    f"docs/API.md: {modname}.{name} is exported but "
+                    f"undocumented")
+    return errors
+
+
+def main():
+    errors = check_links() + check_api_coverage()
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} docs problem(s)", file=sys.stderr)
+        return 1
+    print("docs OK: links resolve, every public export is documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,10 +12,14 @@ Public API highlights:
 * :class:`repro.labeling.DualDistanceLabeling` — Theorem 2.1
 * :class:`repro.congest.RoundLedger` — audited CONGEST round counts
 * :mod:`repro.engine` — array/CSR execution backend
-  (``backend="engine"`` on the flow/cut/SSSP entry points) with
-  reusable :class:`~repro.engine.workspace.FlowWorkspace` buffers
+  (``backend="engine"`` on every flow/cut/SSSP/girth entry point):
+  reusable :class:`~repro.engine.workspace.FlowWorkspace` Bellman–Ford
+  buffers for the flow family, and the Dijkstra / dart-simple-cycle
+  kernels (:mod:`repro.engine.dijkstra`, :mod:`repro.engine.cycles`)
+  for girth and global min-cut
 
 See README.md for the quickstart and the API-to-theorem table,
+docs/API.md for the full reference with the backend support matrix,
 DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
@@ -32,7 +36,7 @@ from repro.engine import CompiledPlanarGraph, FlowWorkspace, compile_graph
 from repro.labeling import DualDistanceLabeling, PrimalDistanceLabeling
 from repro.planar import DualGraph, PlanarGraph
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "RoundLedger",

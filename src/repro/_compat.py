@@ -1,0 +1,31 @@
+"""Guarded numpy import shared by every optional-numpy kernel.
+
+The paper's toolchain assumes numpy for the vectorized kernels (the
+engine's Bellman–Ford passes, the tree-packing min-cut's respecting-cut
+matrices), but none of the algorithms *need* it: each numeric kernel
+keeps a pure-Python fallback that produces bit-identical results on the
+paper's polynomially-bounded integral weights.  This module is the one
+switch they all share:
+
+* ``np`` is the numpy module, or ``None`` when numpy is missing;
+* setting ``REPRO_ENGINE_NO_NUMPY=1`` in the environment *before import*
+  forces ``np = None`` everywhere, which is how the test-suite and CI
+  exercise the fallbacks on a machine that does have numpy.
+
+Keeping the toggle in one place means "numpy-free" is a global property
+of the process, never a per-module accident: either every kernel runs
+vectorized or every kernel runs its reference fallback.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    if os.environ.get("REPRO_ENGINE_NO_NUMPY"):
+        raise ImportError("numpy disabled via REPRO_ENGINE_NO_NUMPY")
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the env toggle
+    np = None
+
+__all__ = ["np"]

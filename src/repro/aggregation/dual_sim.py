@@ -11,26 +11,65 @@ with β the virtual-node multiplier of Lemma 4.13.  Algorithms obtain a
 :class:`~repro.aggregation.model.MinorAggregationGraph` over the dual
 nodes from the host and run unchanged; on completion the host charges
 the ledger.
+
+``backend="engine"`` builds the *array-backed* host instead
+(DESIGN.md §7): no shortcut machinery, no Ĝ, no round conversion — the
+host compiles the primal topology once and serves the dart-level cycle
+oracle that the engine paths of girth (Theorem 1.7) and directed global
+min-cut (Theorem 1.5) extract dual cuts from, by cycle-cut duality
+(Fact 3.1).  On this backend :meth:`charge` is a no-op and
+``pa_rounds`` is 0: the engine leaves the ledger unaudited, exactly
+like the flow engine (DESIGN.md §2/§6).
 """
 
 from __future__ import annotations
 
 from repro.aggregation.model import MinorAggregationGraph
-from repro.shortcuts.partwise import DualPartwiseHost
+
+BACKENDS = ("legacy", "engine")
 
 
 class DualMAHost:
     """Host for minor-aggregation algorithms on G*."""
 
-    def __init__(self, primal, ledger=None):
+    def __init__(self, primal, ledger=None, backend="legacy"):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
         self.primal = primal
         self.ledger = ledger
-        self.pa = DualPartwiseHost(primal, ledger=ledger)
-        self.dual = self.pa.dual
+        self.backend = backend
+        if backend == "legacy":
+            from repro.shortcuts.partwise import DualPartwiseHost
+
+            self.pa = DualPartwiseHost(primal, ledger=ledger)
+            self.dual = self.pa.dual
+            self._oracle = None
+        else:
+            self.pa = None
+            self.dual = None
+            from repro.engine.cycles import (
+                DartCycleOracle,
+                primal_cycle_arcs,
+            )
+
+            # cached on the graph like compile_graph, so repeated engine
+            # hosts reuse one loaded oracle; keyed on the weights (arc
+            # lengths are baked in, unlike the topology-only CSR cache).
+            # Same structural contract as compile_graph: topology edits
+            # create a new PlanarGraph, so only weights can go stale
+            wkey = tuple(primal.weights)
+            cached = getattr(primal, "_engine_cycle_cache", None)
+            if cached is not None and cached[0] == wkey:
+                self._oracle = cached[1]
+            else:
+                self._oracle = DartCycleOracle(primal.n)
+                self._oracle.load_arcs(primal_cycle_arcs(primal))
+                primal._engine_cycle_cache = (wkey, self._oracle)
 
     @property
     def pa_rounds(self):
-        return self.pa.pa_rounds
+        return self.pa.pa_rounds if self.pa is not None else 0
 
     def ma_graph(self, weights=None, directed_reversals=False):
         """A fresh MA graph over the dual nodes.
@@ -40,7 +79,7 @@ class DualMAHost:
         the MA graph is simulated by the corresponding face cycle / E_C
         endpoints of Ĝ (Theorem 4.10); the identification costs one
         component-detection pass on Ĝ[E_R] (Property 4)."""
-        if self.ledger is not None:
+        if self.ledger is not None and self.backend == "legacy":
             self.ledger.charge(self.pa_rounds, "dual-ma/identify-faces",
                                ref="Ĝ Property 4 / Thm 4.10")
         faces = list(range(self.primal.num_faces()))
@@ -54,10 +93,22 @@ class DualMAHost:
                      if weights is None else weights[eid])
         return MinorAggregationGraph(faces, edges, weights=w)
 
+    def engine_cycle_oracle(self):
+        """The compiled-primal cycle oracle of the engine backend.
+
+        Minimum cuts of G* are minimum dart-simple cycles of the primal
+        (Fact 3.1); the oracle is loaded once per host and its buffers
+        are shared by every candidate-vertex query."""
+        if self._oracle is None:
+            raise ValueError("engine_cycle_oracle requires "
+                             "backend='engine'")
+        return self._oracle
+
     def charge(self, ma_graph, phase, extra_detail=""):
         """Convert the MA rounds consumed so far into CONGEST rounds on
-        G and charge the ledger (Theorem 4.10 / 4.14)."""
-        if self.ledger is None:
+        G and charge the ledger (Theorem 4.10 / 4.14).  No-op on the
+        engine backend (unaudited fast path)."""
+        if self.ledger is None or self.backend == "engine":
             return 0
         beta = ma_graph.virtual_overhead
         rounds = ma_graph.ma_rounds * self.pa_rounds * beta

@@ -15,7 +15,12 @@ The 2-respecting evaluation uses the standard subtree-sum identities:
   ``W`` the weight between ``sub(v2)`` and the outside of ``sub(v1)``.
 
 In the MA model these are subtree aggregations ([18] Lemma 16); here they
-are evaluated with numpy and charged Õ(1) MA rounds per tree.
+are evaluated with numpy when available and charged Õ(1) MA rounds per
+tree.  A pure-Python evaluation with the same row-major first-minimum
+tie-breaking covers numpy-free environments
+(``REPRO_ENGINE_NO_NUMPY=1``, see :mod:`repro._compat`); weights are
+the paper's polynomially-bounded integers, so the two paths produce
+bit-identical cuts.
 """
 
 from __future__ import annotations
@@ -23,8 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro._compat import np
 from repro.aggregation.model import MinorAggregationGraph
 from repro.aggregation.mst import boruvka_mst
 from repro.errors import SimulationError
@@ -160,16 +164,24 @@ def _min_respecting_cut(nodes, edges, weights, tree_eids):
             a = parent[a]
         return a
 
-    # C1 via the +w/+w/-2w(lca) subtree-sum trick
-    delta = np.zeros(n)
-    X = np.zeros((n, n))
-    W = np.zeros((n, n))
-    tri_masks = {}
+    # C1 via the +w/+w/-2w(lca) subtree-sum trick; the X/W pair matrices
+    # accumulate per-edge path contributions (vectorized when numpy is
+    # available, reference loops otherwise — identical values on the
+    # paper's integral weights)
+    if np is not None:
+        delta = np.zeros(n)
+        X = np.zeros((n, n))
+        W = np.zeros((n, n))
+        tri_masks = {}
 
-    def tri(k):
-        if k not in tri_masks:
-            tri_masks[k] = np.tril(np.ones((k, k)))
-        return tri_masks[k]
+        def tri(k):
+            if k not in tri_masks:
+                tri_masks[k] = np.tril(np.ones((k, k)))
+            return tri_masks[k]
+    else:
+        delta = [0.0] * n
+        X = [[0.0] * n for _ in range(n)]
+        W = [[0.0] * n for _ in range(n)]
 
     for eid, (u, v) in enumerate(edges):
         a, b = idx[u], idx[v]
@@ -182,26 +194,34 @@ def _min_respecting_cut(nodes, edges, weights, tree_eids):
         delta[l] -= 2 * w
         pa = path_up(a, l)
         pb = path_up(b, l)
-        if pa and pb:
-            X[np.ix_(pa, pb)] += w
-            X[np.ix_(pb, pa)] += w
-        # nested contributions: (v1=p[j], v2=p[i]) with i<=j along each path
-        if pa:
-            W[np.ix_(pa, pa)] += w * tri(len(pa))
-        if pb:
-            W[np.ix_(pb, pb)] += w * tri(len(pb))
+        if np is not None:
+            if pa and pb:
+                X[np.ix_(pa, pb)] += w
+                X[np.ix_(pb, pa)] += w
+            # nested: (v1=p[j], v2=p[i]) with i<=j along each path
+            if pa:
+                W[np.ix_(pa, pa)] += w * tri(len(pa))
+            if pb:
+                W[np.ix_(pb, pb)] += w * tri(len(pb))
+        else:
+            for x in pa:
+                rx = X[x]
+                for y in pb:
+                    rx[y] += w
+                    X[y][x] += w
+            for p in (pa, pb):
+                for i2 in range(len(p)):
+                    rw = W[p[i2]]
+                    for j2 in range(i2 + 1):
+                        rw[p[j2]] += w
 
-    c1 = delta.copy()
+    if np is not None:
+        c1 = delta.copy()
+    else:
+        c1 = list(delta)
     for u in reversed(order):
         if parent[u] != -1:
             c1[parent[u]] += c1[u]
-
-    # ancestor mask: anc[i, j] == i is an ancestor-or-self of j
-    tin_a = np.array(tin)
-    tout_a = np.array(tout)
-    anc = (tin_a[:, None] <= tin_a[None, :]) & \
-          (tin_a[None, :] < tout_a[:, None])
-    eye = np.eye(n, dtype=bool)
 
     best_val = math.inf
     best_side = None
@@ -216,27 +236,60 @@ def _min_respecting_cut(nodes, edges, weights, tree_eids):
             best_side = _subtree(u, tin, tout, order)
             best_marker = (parent_eid[u],)
 
-    # 2-respecting, both variants
-    pairsum = c1[:, None] + c1[None, :]
-    unrel = ~anc & ~anc.T
-    m_unrel = np.where(unrel, pairsum - 2 * X, math.inf)
-    np.fill_diagonal(m_unrel, math.inf)
-    m_unrel[root, :] = math.inf
-    m_unrel[:, root] = math.inf
-    i, j = np.unravel_index(np.argmin(m_unrel), m_unrel.shape)
-    if m_unrel[i, j] < best_val:
-        best_val = float(m_unrel[i, j])
+    # 2-respecting, both variants: minimize over the masked (v1, v2)
+    # matrices, first flat (row-major) minimum on ties
+    if np is not None:
+        # ancestor mask: anc[i, j] == i is an ancestor-or-self of j
+        tin_a = np.array(tin)
+        tout_a = np.array(tout)
+        anc = (tin_a[:, None] <= tin_a[None, :]) & \
+              (tin_a[None, :] < tout_a[:, None])
+        eye = np.eye(n, dtype=bool)
+        pairsum = c1[:, None] + c1[None, :]
+        unrel = ~anc & ~anc.T
+        m_unrel = np.where(unrel, pairsum - 2 * X, math.inf)
+        np.fill_diagonal(m_unrel, math.inf)
+        m_unrel[root, :] = math.inf
+        m_unrel[:, root] = math.inf
+        i, j = np.unravel_index(np.argmin(m_unrel), m_unrel.shape)
+        unrel_best = (float(m_unrel[i, j]), int(i), int(j))
+
+        nest = anc & ~eye
+        # W is indexed [v1 (ancestor), v2 (descendant)]
+        m_nest = np.where(nest, pairsum - 2 * W, math.inf)
+        m_nest[root, :] = math.inf  # equals plain 1-respecting of v2
+        i, j = np.unravel_index(np.argmin(m_nest), m_nest.shape)
+        nest_best = (float(m_nest[i, j]), int(i), int(j))
+    else:
+        def is_anc(i2, j2):
+            return tin[i2] <= tin[j2] < tout[i2]
+
+        unrel_best = (math.inf, 0, 0)
+        nest_best = (math.inf, 0, 0)
+        for i in range(n):
+            for j in range(n):
+                if i == j:
+                    continue
+                if is_anc(i, j):
+                    if i != root:
+                        val = c1[i] + c1[j] - 2 * W[i][j]
+                        if val < nest_best[0]:
+                            nest_best = (val, i, j)
+                elif not is_anc(j, i) and i != root and j != root:
+                    val = c1[i] + c1[j] - 2 * X[i][j]
+                    if val < unrel_best[0]:
+                        unrel_best = (val, i, j)
+
+    val, i, j = unrel_best
+    if val < best_val:
+        best_val = val
         best_side = _subtree(i, tin, tout, order) + \
             _subtree(j, tin, tout, order)
         best_marker = (parent_eid[i], parent_eid[j])
 
-    nest = anc & ~eye
-    # W is indexed [v1 (ancestor), v2 (descendant)]
-    m_nest = np.where(nest, pairsum - 2 * W, math.inf)
-    m_nest[root, :] = math.inf  # equals plain 1-respecting of v2
-    i, j = np.unravel_index(np.argmin(m_nest), m_nest.shape)
-    if m_nest[i, j] < best_val:
-        best_val = float(m_nest[i, j])
+    val, i, j = nest_best
+    if val < best_val:
+        best_val = val
         sub1 = set(_subtree(i, tin, tout, order))
         sub2 = set(_subtree(j, tin, tout, order))
         best_side = sorted(sub1 - sub2)

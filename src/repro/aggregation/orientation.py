@@ -1,19 +1,29 @@
-"""Low out-degree orientation and parallel-edge deactivation (Lemma 4.15).
+"""Low out-degree orientation and parallel-edge deactivation in Õ(1)
+MA rounds (Lemma 4.15, Section 4.3).
 
-``G*`` is a multigraph even when ``G`` is simple.  Many black-box
-algorithms want a simple graph, so the paper deactivates parallel edges:
-between each pair of adjacent dual nodes one *active* edge remains,
-carrying an aggregate (min for shortest paths, sum for cuts) of the
-parallel bundle.
+``G*`` is a multigraph even when ``G`` is simple (Fact 3.1 creates a
+parallel dual edge for every primal edge two faces share, and a
+self-loop per bridge).  The girth pipeline (Theorem 1.7) feeds ``G*``
+to a black-box min-cut (Theorem 4.16 substitute) that wants a simple
+graph, so the paper deactivates parallel edges, exactly as Section 4.3:
 
-Doing this naively is too expensive for high-degree nodes; the paper
-instead computes a *low out-degree orientation* via the algorithm of
-Barenboim-Elkin [1] formulated in the minor-aggregation model: nodes turn
-black over 2⌈log n⌉ phases once at most ``3·arboricity`` white neighbors
-remain, and edges orient toward the later (or higher-id) endpoint.  The
-underlying simple graph of a planar multigraph has arboricity ≤ 3, so
-every node ends with O(1) out-*neighbors* and can deactivate its outgoing
-bundles with O(1) aggregations.
+1. self-loops deactivate locally (one consensus round);
+2. a *low out-degree orientation* is computed by the Barenboim–Elkin
+   [1] algorithm formulated in the minor-aggregation model
+   (Definition 4.7): nodes turn black over ``2⌈log n⌉`` phases once at
+   most ``3·arboricity`` white neighbors remain, and edges orient
+   toward the later (or higher-id) endpoint — the underlying simple
+   graph of a planar multigraph has arboricity ≤ 3 (Euler), so every
+   node ends with O(1) out-*neighbors*;
+3. each node folds its O(1) outgoing bundles with O(1) aggregations
+   (min for shortest paths, sum for cuts — the girth uses sum, since a
+   dual cut charges every parallel edge), leaving one *active*
+   representative per adjacent pair.
+
+Every phase charges its aggregate steps on the MA-round counter; the
+host (Theorem 4.14) later converts them to CONGEST rounds, see
+DESIGN.md §2.  The engine backend of the girth bypasses this machinery
+entirely — it never needs the dual to be simple (DESIGN.md §7).
 """
 
 from __future__ import annotations

@@ -175,6 +175,73 @@ def experiment_bdd_shape(sizes=(0, 1, 2)):
     return rows
 
 
+def experiment_engine_kernels(girth_sizes=(6, 9, 12), mincut_ns=(14, 20)):
+    """E11: engine-vs-legacy backends across the theorem families
+    (DESIGN.md §6–§7).
+
+    This is the one *wall-clock* series of the suite: it measures the
+    execution backends, not the protocol — wall time is never a proxy
+    for rounds (DESIGN.md §2), which is why the speedup columns live in
+    their own table.  Output parity is asserted inline, so a speedup
+    can never come from a wrong answer.
+    """
+    import time
+
+    rows = []
+    for k in girth_sizes:
+        g = randomize_weights(grid(k, k), seed=k)
+        t0 = time.perf_counter()
+        leg = weighted_girth(g)
+        legacy_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        eng = weighted_girth(g, backend="engine")
+        engine_s = max(time.perf_counter() - t0, 1e-9)
+        # witness fields compared too: these seeds have unique minimum
+        # cycles (swap the seed, don't relax, if a tie ever appears)
+        assert (eng.value, eng.cycle_edge_ids, eng.cut_side_faces) == \
+            (leg.value, leg.cycle_edge_ids, leg.cut_side_faces)
+        rows.append(SeriesRow(
+            family="girth/grid", n=g.n, d=g.diameter(), rounds=0,
+            extra={"value": eng.value,
+                   "legacy_s": round(legacy_s, 3),
+                   "engine_s": round(engine_s, 4),
+                   "speedup": round(legacy_s / engine_s, 1)}))
+    for n in mincut_ns:
+        base = randomize_weights(random_planar(n, seed=n), seed=n)
+        g = bidirect(base, seed=n)
+        t0 = time.perf_counter()
+        leg = directed_global_mincut(g, leaf_size=12)
+        legacy_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        eng = directed_global_mincut(g, leaf_size=12, backend="engine")
+        engine_s = max(time.perf_counter() - t0, 1e-9)
+        assert eng == leg  # bit-identical dataclasses
+        rows.append(SeriesRow(
+            family="mincut/bidirected", n=g.n, d=g.diameter(), rounds=0,
+            extra={"value": eng.value,
+                   "legacy_s": round(legacy_s, 3),
+                   "engine_s": round(engine_s, 4),
+                   "speedup": round(legacy_s / engine_s, 1)}))
+    from repro.core import directed_weighted_girth
+
+    base = randomize_weights(random_planar(30, seed=8), seed=8)
+    g = bidirect(base, seed=8)
+    t0 = time.perf_counter()
+    leg = directed_weighted_girth(g, leaf_size=max(10, g.diameter()))
+    legacy_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    eng = directed_weighted_girth(g, backend="engine")
+    engine_s = max(time.perf_counter() - t0, 1e-9)
+    assert (eng.value, eng.witness_edge) == (leg.value, leg.witness_edge)
+    rows.append(SeriesRow(
+        family="dgirth/bidirected", n=g.n, d=g.diameter(), rounds=0,
+        extra={"value": eng.value,
+               "legacy_s": round(legacy_s, 3),
+               "engine_s": round(engine_s, 4),
+               "speedup": round(legacy_s / engine_s, 1)}))
+    return rows
+
+
 def experiment_crossover(n=4096):
     """E10: round-model comparison — where does Õ(D²) beat D·√n [4] and
     (√n+D)·n^{o(1)} [16]?"""
@@ -206,6 +273,7 @@ def run_all(print_tables=True):
     out["E7-approx-flow"] = experiment_approx_flow(sizes=(0, 1, 2))
     out["E9-bdd"] = experiment_bdd_shape(sizes=(0, 1, 2, 3))
     out["E10-crossover"] = experiment_crossover()
+    out["E11-engine-kernels"] = experiment_engine_kernels()
     if print_tables:
         for name, rows in out.items():
             if name == "E10-crossover":

@@ -1,4 +1,5 @@
-"""Round accounting for the CONGEST simulation.
+"""Round accounting for the CONGEST simulation — the audit behind
+every Õ(D²) / Õ(D) claim the experiments reproduce.
 
 The heavyweight algorithms of the paper are executed at the *knowledge
 level* (see DESIGN.md §2): the code manipulates exactly the information
@@ -7,18 +8,30 @@ charges rounds computed from **measured instance quantities** — BFS-tree
 depths, numbers of pipelined messages, shortcut congestion/dilation,
 label bit sizes.  Each charge carries a phase tag and the paper reference
 that justifies the formula, so ``ledger.report()`` reconstructs the round
-complexity audibly.
+complexity audibly: Theorem 1.2's Õ(D²) is the sum of O(log λ) labeling
+constructions (Theorem 2.1), Theorem 1.7's Õ(D) is MA rounds × the
+measured Theorem 4.10/4.14 conversion, Theorem 1.5's Õ(D²) is the
+per-bag label broadcasts of Section 7.
 
-Standard charging formulas (all primitives used by the paper):
+Standard charging formulas (all primitives used by the paper, in the
+synchronous CONGEST model of Peleg [37] — one O(log n)-bit message per
+edge per round):
 
 * ``broadcast(k messages, tree depth h)``  →  ``h + k`` rounds
   (pipelined broadcast over a BFS tree);
 * ``convergecast`` — same bound;
 * ``bfs(depth h)`` → ``h`` rounds;
-* a part-wise aggregation → measured ``congestion + dilation`` of the
-  shortcuts used (Lemma 4.5);
-* one minor-aggregation round on ``G*`` → the PA cost on Ĝ times the
-  constant Ĝ-to-G overhead (Theorem 4.10).
+* a part-wise aggregation (Definition 4.4) → measured
+  ``congestion + dilation`` of the shortcuts used (Lemma 4.5);
+* one minor-aggregation round on ``G*`` (Definition 4.7) → the PA cost
+  on Ĝ times the constant Ĝ-to-G overhead (Theorem 4.10), times the
+  virtual-node multiplier β when the extended model is in play
+  (Lemma 4.13).
+
+The ledger is only audited on the legacy backend: every
+``backend="engine"`` entry point (flow family, DESIGN.md §6; girth /
+global-min-cut family, DESIGN.md §7) leaves it untouched — a partial
+audit would be worse than none.
 """
 
 from __future__ import annotations

@@ -7,11 +7,23 @@ nonnegative integral weights: with distance labels in hand, every edge
 minimum over edges is exact (any closed walk decomposes into simple
 cycles, and on the optimal cycle the proposing edge sees exactly the
 rest of the cycle as its return path).  One labeling (Õ(D²) rounds) +
-one aggregation.
+one aggregation — the primal labeling substrate of [27], cf. the dual
+labels of Theorem 2.1 and DESIGN.md §3.
 
 Serves double duty in the experiments: correctness target for the
 primal labeling, and the executable Õ(D²) comparator that E4 contrasts
-with the Õ(D)-round minor-aggregation girth.
+with the Õ(D)-round minor-aggregation girth (DESIGN.md §4).
+
+``backend="engine"`` computes the same minimum centrally
+(DESIGN.md §7): one pruned array-backed Dijkstra
+(:class:`~repro.engine.dijkstra.DijkstraWorkspace`) per cycle-closing
+vertex over the forward darts of the compiled primal, buffers reused
+across all sources, with the running best value as the pruning bound.
+The minimum value and the winning edge are bit-identical to the
+labeling route — every candidate that could win or tie is an exact
+integer distance, scanned in edge-id order; non-competitive candidates
+are masked to inf by the pruning bound rather than carrying their
+legacy finite values.  The ledger stays unaudited.
 """
 
 from __future__ import annotations
@@ -20,6 +32,8 @@ import math
 from dataclasses import dataclass
 
 from repro.labeling.primal import PrimalDistanceLabeling
+
+BACKENDS = ("legacy", "engine")
 
 
 @dataclass
@@ -30,10 +44,16 @@ class DirectedGirthResult:
     label_rounds_phase: str = "primal-labeling"
 
 
-def directed_weighted_girth(graph, leaf_size=None, ledger=None):
+def directed_weighted_girth(graph, leaf_size=None, ledger=None,
+                            backend="legacy"):
     """Minimum weight of a directed cycle, or None if the graph is a
     DAG.  Edge directions follow the stored orientation; weights must
     be nonnegative."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"expected one of {BACKENDS}")
+    if backend == "engine":
+        return _directed_girth_engine(graph)
     lengths = {}
     for eid in range(graph.m):
         lengths[2 * eid] = graph.weights[eid]
@@ -55,3 +75,34 @@ def directed_weighted_girth(graph, leaf_size=None, ledger=None):
     if math.isinf(best):
         return None
     return DirectedGirthResult(value=best, witness_edge=witness)
+
+
+def _directed_girth_engine(graph):
+    """Engine backend: per-source pruned Dijkstra over forward darts."""
+    from repro.engine.dijkstra import DijkstraWorkspace
+
+    ws = DijkstraWorkspace(graph.n)
+    ws.load_arcs((2 * eid, u, v, graph.weights[eid])
+                 for eid, (u, v) in enumerate(graph.edges))
+    # group the proposing edges by the vertex their cycle closes at
+    in_edges = [[] for _ in range(graph.n)]
+    for eid, (u, v) in enumerate(graph.edges):
+        in_edges[v].append((eid, u, graph.weights[eid]))
+
+    # running minimum over exact-int (candidate, eid) pairs — the same
+    # lowest-eid-on-ties outcome as the legacy edge-order scan, in any
+    # source order (pruned candidates exceed every later bound, so they
+    # can neither win nor tie)
+    best = None  # (value, eid)
+    for v in range(graph.n):
+        if not in_edges[v]:
+            continue
+        ws.sssp(v, bound=best[0] if best is not None else math.inf)
+        for (eid, u, w) in in_edges[v]:
+            c = w + ws.distance(u)
+            if not math.isinf(c) and (best is None or (c, eid) < best):
+                best = (c, eid)
+    if best is None:
+        return None
+    return DirectedGirthResult(value=best[0], witness_edge=best[1],
+                               label_rounds_phase="engine-dijkstra")

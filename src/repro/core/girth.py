@@ -1,7 +1,7 @@
 """Weighted girth of undirected planar graphs in Õ(D) rounds
 (Theorem 1.7).
 
-Pipeline, exactly as Section 4.3:
+Legacy pipeline, exactly as Section 4.3:
 
 1. make the dual simple — deactivate self-loops and collapse parallel
    dual edges, summing their weights (Lemma 4.15, via the low
@@ -10,6 +10,15 @@ Pipeline, exactly as Section 4.3:
    substitute) through the dual simulation host (Theorem 4.14);
 3. mark the cut edges (Lemma 4.17); by cycle-cut duality (Fact 3.1)
    they form a minimum-weight cycle of G.
+
+``backend="engine"`` is the centralized fast path (DESIGN.md §7): by
+the same duality, the minimum cut of G* *is* a minimum-weight simple
+cycle of G, extracted directly as the minimum dart-simple cycle of the
+compiled primal (one pruned two-best Dijkstra per vertex,
+:mod:`repro.engine.cycles`) — no simulation host, no tree packing, no
+round audit.  Both backends canonicalize ``cut_side_faces`` to the dual
+side not containing face 0, so on instances with a unique minimum cycle
+the results are bit-identical (``tests/test_engine_girth_parity.py``).
 """
 
 from __future__ import annotations
@@ -22,25 +31,36 @@ from repro.aggregation.mincut_ma import minor_aggregate_mincut
 from repro.aggregation.orientation import deactivate_parallel_edges
 from repro.planar.dual import is_simple_cycle
 
+BACKENDS = ("legacy", "engine")
+
 
 @dataclass
 class GirthResult:
     value: float
     #: primal edge ids of a minimum-weight cycle
     cycle_edge_ids: list
-    #: dual-side faces of the corresponding cut
+    #: dual-side faces of the corresponding cut (canonical: the side
+    #: not containing face 0)
     cut_side_faces: list
     ma_rounds: int
     congest_rounds: int
 
 
-def weighted_girth(graph, ledger=None, num_trees=None):
+def weighted_girth(graph, ledger=None, num_trees=None, backend="legacy"):
     """Minimum-weight cycle of an undirected weighted planar graph.
 
-    Returns None when the graph is a forest (no cycle).
+    Returns None when the graph is a forest (no cycle).  The round
+    ledger is audited on the legacy backend only; ``num_trees`` (the
+    tree-packing knob of the Theorem 4.16 substitute) has no effect on
+    the engine backend.
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"expected one of {BACKENDS}")
     if graph.num_faces() < 2:
         return None
+    if backend == "engine":
+        return _weighted_girth_engine(graph)
 
     host = DualMAHost(graph, ledger=ledger)
     ma = host.ma_graph()
@@ -75,10 +95,34 @@ def weighted_girth(graph, ledger=None, num_trees=None):
 
     value = sum(graph.weights[e] for e in cycle)
     assert value == res.value, "bundled cut weight mismatch"
+    return _girth_result(graph, value, cycle, ma_rounds=res.ma_rounds,
+                         congest_rounds=congest)
+
+
+def _weighted_girth_engine(graph):
+    """Engine backend: minimum dart-simple cycle of the compiled primal
+    (cycle-cut duality makes it the minimum cut of G*)."""
+    from repro.engine.cycles import min_dart_simple_cycle
+
+    host = DualMAHost(graph, backend="engine")
+    best = min_dart_simple_cycle(host.engine_cycle_oracle(),
+                                 range(graph.n))
+    if best is None:  # connected graph with >= 2 faces always has one
+        return None
+    value, darts = best
+    cycle = sorted({d >> 1 for d in darts})
+    assert value == sum(graph.weights[e] for e in cycle), \
+        "cycle weight mismatch"
+    return _girth_result(graph, value, cycle, ma_rounds=0,
+                         congest_rounds=0)
+
+
+def _girth_result(graph, value, cycle, ma_rounds, congest_rounds):
+    from repro.engine.cycles import cycle_side_faces
+
     assert is_simple_cycle(graph, cycle), \
         "dual min cut did not dualize to a simple cycle"
-
     return GirthResult(value=value, cycle_edge_ids=cycle,
-                       cut_side_faces=list(res.side_nodes),
-                       ma_rounds=res.ma_rounds,
-                       congest_rounds=congest)
+                       cut_side_faces=cycle_side_faces(graph, cycle),
+                       ma_rounds=ma_rounds,
+                       congest_rounds=congest_rounds)

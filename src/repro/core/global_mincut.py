@@ -22,6 +22,18 @@ achievability of this candidate set).
 
 The primal bisection is recovered by removing the cycle's primal edges
 and splitting G into components.
+
+``backend="engine"`` runs the same recursion with the array kernels of
+DESIGN.md §7: per bag the dual arcs are loaded once into a reusable
+:class:`~repro.engine.cycles.DartCycleOracle`, and each ``f ∈ F_X``
+query is the batched two-best Dijkstra of
+:class:`~repro.engine.dijkstra.TwoBestDijkstra` pruned by the running
+best value.  The kernel replicates this module's reference
+:func:`_min_cycle_through` tuple for tuple, so the result — value,
+side, cut edges and witness cycle darts — is bit-identical to the
+legacy backend on every instance, ties included
+(``tests/test_engine_girth_parity.py``); the ledger stays unaudited on
+the engine path.
 """
 
 from __future__ import annotations
@@ -35,6 +47,8 @@ from repro.bdd import build_bdd, build_all_dual_bags
 from repro.errors import SimulationError
 from repro.planar.graph import rev
 
+BACKENDS = ("legacy", "engine")
+
 
 @dataclass
 class GlobalMinCutResult:
@@ -47,15 +61,32 @@ class GlobalMinCutResult:
     cycle_darts: list
 
 
-def directed_global_mincut(graph, leaf_size=None, ledger=None):
-    """Directed global min cut of a positively-weighted planar digraph."""
-    bdd = build_bdd(graph, leaf_size=leaf_size, ledger=ledger)
+def directed_global_mincut(graph, leaf_size=None, ledger=None,
+                           backend="legacy"):
+    """Directed global min cut of a positively-weighted planar digraph.
+
+    The round ledger is audited on the legacy backend only."""
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"expected one of {BACKENDS}")
+    engine = backend == "engine"
+    bdd = build_bdd(graph, leaf_size=leaf_size,
+                    ledger=None if engine else ledger)
     duals = build_all_dual_bags(bdd)
 
     lengths = {}
     for eid in range(graph.m):
         lengths[2 * eid] = graph.weights[eid]
         lengths[2 * eid + 1] = 0
+
+    oracle = None
+    if engine:
+        from repro.engine.cycles import (
+            DartCycleOracle,
+            min_dart_simple_cycle,
+        )
+
+        oracle = DartCycleOracle(graph.num_faces())
 
     best = None  # (value, cycle darts)
     for bag in bdd.bags:
@@ -65,6 +96,14 @@ def directed_global_mincut(graph, leaf_size=None, ledger=None):
         else:
             candidates = sorted(dual.f_x)
         if not candidates:
+            continue
+        if engine:
+            # same arcs in the same order as _arc_index, loaded into the
+            # reusable buffers; queries prune at the running best value
+            oracle.load_arcs(
+                [(d, graph.face_of[d], graph.face_of[rev(d)], lengths[d])
+                 for d in dual.arc_darts])
+            best = min_dart_simple_cycle(oracle, candidates, best=best)
             continue
         arcs = _arc_index(graph, dual, lengths)
         if ledger is not None:
@@ -103,6 +142,11 @@ def _min_cycle_through(graph, arcs, f, lengths):
 
     Two-best Dijkstra: per node keep up to two settled labels with
     distinct first darts.  Returns (value, cycle dart list) or None.
+
+    This is the *reference* kernel: the engine backend
+    (:meth:`repro.engine.cycles.DartCycleOracle.min_cycle_through`)
+    replicates its heap tuples and scan orders exactly and is parity-
+    tested against it bit for bit.
     """
     best_val = math.inf
     best_cycle = None

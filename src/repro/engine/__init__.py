@@ -19,15 +19,31 @@ bisections, dual distances) — parity is enforced by
 ``tests/test_engine_parity.py`` — it just gets there orders of magnitude
 faster (``benchmarks/bench_engine.py``).
 
-Select it per call with ``backend="engine"`` on
+Two kernel families run on the compiled arrays:
+
+* the Bellman–Ford workspaces (:mod:`repro.engine.workspace`) for the
+  mixed-sign residual lengths of the flow family (Theorems 1.2/1.3,
+  6.1/6.2, Lemma 2.2);
+* the nonnegative-weight Dijkstra / dart-simple-cycle kernels
+  (:mod:`repro.engine.dijkstra`, :mod:`repro.engine.cycles`) for the
+  girth and global-min-cut family (Theorems 1.5/1.7), including the
+  constrained best/second-best-distance driver of Section 7.
+
+Select the engine per call with ``backend="engine"`` on
 :func:`repro.core.max_st_flow`, :func:`repro.core.min_st_cut`,
-:func:`repro.core.approx_max_st_flow` and
+:func:`repro.core.approx_max_st_flow`,
+:func:`repro.core.weighted_girth`,
+:func:`repro.core.directed_weighted_girth`,
+:func:`repro.core.directed_global_mincut` and
 :meth:`repro.planar.dual.DualGraph.bellman_ford`; the default
 ``backend="legacy"`` keeps the round-audited reference path.  See
-DESIGN.md §6 for the architecture.
+DESIGN.md §6–§7 for the architecture and docs/API.md for the full
+backend support matrix.
 """
 
 from repro.engine.csr import CompiledPlanarGraph, compile_graph
+from repro.engine.cycles import DartCycleOracle, cycle_side_faces
+from repro.engine.dijkstra import DijkstraWorkspace, TwoBestDijkstra
 from repro.engine.workspace import FlowWorkspace, dijkstra_undirected
 
 __all__ = [
@@ -35,4 +51,8 @@ __all__ = [
     "compile_graph",
     "FlowWorkspace",
     "dijkstra_undirected",
+    "DijkstraWorkspace",
+    "TwoBestDijkstra",
+    "DartCycleOracle",
+    "cycle_side_faces",
 ]

@@ -1,0 +1,241 @@
+"""Array-backed nonnegative-weight Dijkstra kernels (DESIGN.md §7).
+
+Two workspaces complete the engine's shortest-path toolbox next to the
+Bellman–Ford kernels of :mod:`repro.engine.workspace` (those handle the
+mixed-sign residual lengths of the Miller–Naor probes; the theorems of
+Sections 4 and 7 — girth and directed global min-cut — run on
+*nonnegative* lengths where Dijkstra applies):
+
+* :class:`DijkstraWorkspace` — plain SSSP over a loaded per-dart arc
+  set, on a flat heap with distance / parent / generation-stamp buffers
+  sized once and *reused across sources* (the same buffer-keeping
+  discipline as :class:`~repro.engine.workspace.FlowWorkspace`).
+  Generation stamps make per-source reinitialization O(1): a buffer
+  entry is valid only when its stamp equals the current run's, so no
+  O(n) clear separates consecutive sources of a batch.
+
+* :class:`TwoBestDijkstra` — the batched multi-source driver for the
+  *constrained* SSSP of Theorem 1.5 (Section 7): per node it settles up
+  to two labels, the best and second-best distance with **distinct
+  first darts**, tracked in parallel arrays (two slots per node).  The
+  first dart of a path never changes as the path extends, so each label
+  is ``(node, first_dart)`` and its predecessor is ``(prev_node, same
+  first_dart)`` — exactly the "two options" repair of dart-simplicity
+  (DESIGN.md §5 substitution 6).  The settle loop is a verbatim array
+  translation of the legacy reference
+  (:func:`repro.core.global_mincut._min_cycle_through`): heap entries
+  are the same ``(dist, node, first_dart, prev_node, prev_dart)``
+  tuples over *global* ids, so tie-breaking — and therefore every
+  output down to the witness cycles — is bit-identical to the legacy
+  backend.
+
+Both kernels accept a monotone ``bound`` (the best cycle value found so
+far): settling stops once the heap minimum can no longer produce a
+strictly better candidate.  Pruning never changes results — callers
+compare candidates with strict ``<``, and every label on a strictly
+better cycle has distance below the bound — it only skips work the
+comparison would discard (proof in the module docstring of
+:mod:`repro.engine.cycles`).
+
+The kernels are deliberately pure Python: a binary-heap Dijkstra is
+control-flow-bound, so there is no vectorizable inner loop and nothing
+to gate on numpy — the engine's girth/min-cut path therefore runs
+unchanged when numpy is absent (``REPRO_ENGINE_NO_NUMPY=1``), unlike
+the Bellman–Ford kernels which switch to their SPFA fallback.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+
+INF = math.inf
+
+
+class DijkstraWorkspace:
+    """Reusable SSSP buffers over a loaded arc set with nonnegative
+    lengths.
+
+    ``num_ids`` is the dense id universe (vertices of the primal, or
+    faces of the dual); arcs are loaded once per topology with
+    :meth:`load_arcs` and queried from many sources.  Distances are
+    exact Python ints for integral lengths (no float round-trip).
+    """
+
+    __slots__ = ("num_ids", "dist", "parent_dart", "adj",
+                 "_touched", "_stamp", "_gen", "_bound", "sssp_runs")
+
+    def __init__(self, num_ids):
+        self.num_ids = num_ids
+        #: id -> distance of the latest :meth:`sssp` run (see
+        #: :meth:`distance` for the stamped read)
+        self.dist = [INF] * num_ids
+        #: id -> dart of the tree arc reaching it (-1 at source/unreached)
+        self.parent_dart = [-1] * num_ids
+        self.adj = [()] * num_ids
+        self._touched = []
+        self._stamp = [0] * num_ids
+        self._gen = 0
+        self._bound = INF
+        #: kernel invocation counter (benchmark introspection)
+        self.sssp_runs = 0
+
+    def load_arcs(self, arcs):
+        """Load directed arcs ``(dart, tail, head, length)``; lengths
+        must be nonnegative.  Replaces any previously loaded arc set."""
+        for u in self._touched:
+            self.adj[u] = ()
+        adj = {}
+        for (d, t, h, ln) in arcs:
+            adj.setdefault(t, []).append((d, h, ln))
+        for u, lst in adj.items():
+            self.adj[u] = lst
+        self._touched = list(adj.keys())
+
+    def sssp(self, source, bound=INF):
+        """Dijkstra from ``source`` over the loaded arcs.
+
+        Settles every node at distance ≤ ``bound`` exactly (nodes beyond
+        the bound keep stale or tentative buffers — read through
+        :meth:`distance`, which masks them).  Invalidates the previous
+        run's distances.
+        """
+        self.sssp_runs += 1
+        self._bound = bound
+        self._gen += 1
+        gen = self._gen
+        stamp = self._stamp
+        dist = self.dist
+        parent = self.parent_dart
+        adj = self.adj
+        dist[source] = 0
+        parent[source] = -1
+        stamp[source] = gen
+        heap = [(0, source)]
+        while heap:
+            du, u = heappop(heap)
+            if du > bound:
+                break
+            if du > dist[u]:
+                continue  # stale entry
+            for (d, h, ln) in adj[u]:
+                nd = du + ln
+                if stamp[h] != gen or nd < dist[h]:
+                    stamp[h] = gen
+                    dist[h] = nd
+                    parent[h] = d
+                    heappush(heap, (nd, h))
+
+    def distance(self, u):
+        """Distance of ``u`` in the latest run: exact when ≤ the run's
+        bound, inf when unreached or beyond it.
+
+        At the moment the settle loop breaks, every stamped value ≤
+        bound is settled (a smaller tentative value would still be the
+        heap minimum), so thresholding at the bound is what makes the
+        exact/inf contract airtight — values above it may be tentative
+        overestimates and are masked.
+        """
+        if self._stamp[u] != self._gen:
+            return INF
+        d = self.dist[u]
+        return d if d <= self._bound else INF
+
+
+class TwoBestDijkstra:
+    """Constrained SSSP: best + second-best distance with distinct first
+    darts, in parallel arrays reused across a batch of sources.
+
+    Per node ``u`` the workspace keeps up to two settled labels in
+    *settle order* (slot 0 first): ``label_dist[2u+s]``,
+    ``label_fd[2u+s]`` (the path's first dart) and the predecessor pair
+    ``parent_node[2u+s]`` / ``parent_dart[2u+s]``.  :meth:`run` settles
+    them for one source; :meth:`labels` and :meth:`walk_parents` read
+    them back.  The relaxation skips arcs whose head is the source —
+    closing the cycles is the caller's job
+    (:class:`repro.engine.cycles.DartCycleOracle`), exactly as in the
+    legacy reference kernel.
+    """
+
+    __slots__ = ("num_ids", "label_dist", "label_fd", "parent_node",
+                 "parent_dart", "label_count", "_stamp", "_gen", "runs")
+
+    def __init__(self, num_ids):
+        self.num_ids = num_ids
+        self.label_dist = [INF] * (2 * num_ids)
+        self.label_fd = [-1] * (2 * num_ids)
+        self.parent_node = [-1] * (2 * num_ids)
+        self.parent_dart = [-1] * (2 * num_ids)
+        self.label_count = [0] * num_ids
+        self._stamp = [0] * num_ids
+        self._gen = 0
+        #: kernel invocation counter (benchmark introspection)
+        self.runs = 0
+
+    def run(self, adj, source, bound=INF):
+        """Settle the two-best labels from ``source`` over ``adj``
+        (id -> list of ``(dart, head, length)``; lengths nonnegative).
+
+        Heap entries replicate the legacy kernel's
+        ``(dist, node, first_dart, prev_node, prev_dart)`` tuples, so
+        the settle order — including every tie-break — is identical.
+        Settling stops once the heap minimum reaches ``bound`` (labels
+        at distance ≥ bound cannot close a cycle of value < bound).
+        """
+        self.runs += 1
+        self._gen += 1
+        gen = self._gen
+        stamp = self._stamp
+        count = self.label_count
+        ldist = self.label_dist
+        lfd = self.label_fd
+        pnode = self.parent_node
+        pdart = self.parent_dart
+
+        heap = []
+        for (d, h, _w) in adj[source]:
+            if h == source:
+                continue  # self-loops are one-dart cycles, caller's job
+            heappush(heap, (_w, h, d, source, d))
+        while heap:
+            dist, u, fd, pu, pd = heappop(heap)
+            if dist >= bound:
+                break
+            if stamp[u] != gen:
+                stamp[u] = gen
+                count[u] = 0
+            n = count[u]
+            if n >= 2 or (n == 1 and lfd[2 * u] == fd):
+                continue
+            s = 2 * u + n
+            ldist[s] = dist
+            lfd[s] = fd
+            pnode[s] = pu
+            pdart[s] = pd
+            count[u] = n + 1
+            for (d, h, _w) in adj[u]:
+                if h == source:
+                    continue  # arcs back into the source close cycles
+                heappush(heap, (dist + _w, h, fd, u, d))
+
+    def labels(self, u):
+        """Settled labels of ``u`` for the latest run, in settle order:
+        list of ``(dist, first_dart)`` with 0 ≤ len ≤ 2."""
+        if self._stamp[u] != self._gen:
+            return ()
+        n = self.label_count[u]
+        return [(self.label_dist[2 * u + s], self.label_fd[2 * u + s])
+                for s in range(n)]
+
+    def walk_parents(self, u, fd, source):
+        """Darts of the settled path ``source -> u`` whose first dart is
+        ``fd``, in path order."""
+        darts = []
+        node = u
+        while node != source:
+            base = 2 * node
+            s = base if self.label_fd[base] == fd else base + 1
+            darts.append(self.parent_dart[s])
+            node = self.parent_node[s]
+        darts.reverse()
+        return darts

@@ -49,19 +49,12 @@ from __future__ import annotations
 
 import heapq
 import math
-import os
 from collections import deque
 
+from repro._compat import np as _np
 from repro.errors import NegativeCycleError
 
 INF = math.inf
-
-try:  # numpy ships with the toolchain; the SPFA fallback covers its absence
-    if os.environ.get("REPRO_ENGINE_NO_NUMPY"):
-        raise ImportError("numpy disabled via REPRO_ENGINE_NO_NUMPY")
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised via the env toggle
-    _np = None
 
 
 class _VectorDualKernel:
