@@ -1,0 +1,211 @@
+"""Serving-layer benchmark: queries/sec cold vs warm (DESIGN.md §8).
+
+Two modes:
+
+* under pytest (part of the benchmark suite): times warm serving of
+  repeated flow queries and label-decoded distance queries on the
+  shared small instances, asserting parity with the per-call entry
+  points inline;
+
+* as a script, the headline experiment of the serving subsystem —
+
+      PYTHONPATH=src python benchmarks/bench_service.py \
+          [--rows 64] [--cols 64] [--seed 7] ...
+
+  measures, on a rows x cols grid:
+
+  1. **st-flow, cold** — every query pays the full per-call cost
+     (fresh topology compile + workspace + solve), which is what the
+     repo did before the catalog existed;
+  2. **st-flow, warm** — the same repeated query served from the
+     catalog (artifacts + result cache).  Acceptance: >= 10x;
+  3. **st-flow, warm / distinct pairs** — artifact reuse only (every
+     pair still solves), the steady-state cost of new queries;
+  4. **dual distance, cold** — one Theorem 2.1 labeling construction
+     per query;
+  5. **dual distance, warm** — distinct pairs decoded from the cached
+     labels (Lemma 2.2).  Acceptance: >= 100x.
+
+  Parity is asserted inline (catalog answers == per-call answers ==
+  networkx oracle), so the reported throughputs can never come from a
+  wrong answer.
+"""
+
+import argparse
+import random
+import time
+
+import pytest
+
+from repro.bdd import build_bdd
+from repro.core import flow_value_networkx, max_st_flow, weighted_girth
+from repro.labeling import DualDistanceLabeling
+from repro.planar.generators import grid, randomize_weights
+from repro.service import (
+    DistanceQuery,
+    FlowQuery,
+    GirthQuery,
+    GraphCatalog,
+    default_dual_lengths,
+)
+
+
+# ----------------------------------------------------------------------
+# pytest mode
+# ----------------------------------------------------------------------
+def test_service_warm_flow_queries(benchmark, instances):
+    """Steady-state repeated flow query: result-cache lookup."""
+    g = instances["grid-large"]
+    catalog = GraphCatalog()
+    catalog.register("g", g)
+    q = FlowQuery("g", 0, g.n - 1)
+    cold = catalog.serve(q)
+
+    res = benchmark(lambda: catalog.serve(q))
+    assert res.warm is True
+    assert res.result is cold.result
+    assert res.result == max_st_flow(g, 0, g.n - 1, backend="engine")
+    benchmark.extra_info.update({"n": g.n, "value": res.result.value})
+
+
+def test_service_warm_distance_queries(benchmark, instances):
+    """Steady-state distinct distance queries: label decode only."""
+    g = instances["grid-small"]
+    catalog = GraphCatalog()
+    catalog.register("g", g)
+    nf = g.num_faces()
+    catalog.serve(DistanceQuery("g", 0, 1))  # builds the labeling
+    pairs = [(f, h) for f in range(min(nf, 6)) for h in range(min(nf, 6))]
+
+    def run():
+        return [catalog.serve(DistanceQuery("g", f, h)).result
+                for f, h in pairs]
+
+    values = benchmark(run)
+    lab = DualDistanceLabeling(build_bdd(g), default_dual_lengths(g))
+    assert values == [lab.distance(f, h) for f, h in pairs]
+    benchmark.extra_info.update({"pairs": len(pairs)})
+
+
+# ----------------------------------------------------------------------
+# script mode
+# ----------------------------------------------------------------------
+def _fmt_qps(x):
+    return f"{x:,.1f}".replace(",", " ")
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rows", type=int, default=64)
+    ap.add_argument("--cols", type=int, default=64)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--cold-iters", type=int, default=3,
+                    help="cold st-flow measurements (fresh compile each)")
+    ap.add_argument("--flow-repeats", type=int, default=200,
+                    help="warm repeats of the same st-flow query")
+    ap.add_argument("--distinct-pairs", type=int, default=8,
+                    help="distinct st-pairs for the artifact-reuse row")
+    ap.add_argument("--distance-pairs", type=int, default=500,
+                    help="distinct warm distance queries")
+    args = ap.parse_args(argv)
+
+    g = randomize_weights(grid(args.rows, args.cols), seed=args.seed,
+                          directed_capacities=True)
+    s, t = 0, g.n - 1
+    name = f"grid-{args.rows}x{args.cols}"
+    print(f"instance: {args.rows}x{args.cols} grid, n={g.n}, m={g.m}, "
+          f"faces={g.num_faces()}")
+
+    # -- 1. cold st-flow: full per-call cost, fresh topology each time
+    cold_s = 0.0
+    cold_value = None
+    for _ in range(args.cold_iters):
+        fresh = g.copy()  # new instance -> new topology token -> cold
+        t0 = time.perf_counter()
+        res = max_st_flow(fresh, s, t, directed=True, backend="engine")
+        cold_s += time.perf_counter() - t0
+        cold_value = res.value
+    cold_s /= args.cold_iters
+    cold_qps = 1.0 / cold_s
+    assert cold_value == flow_value_networkx(g, s, t, directed=True), \
+        "engine value does not match the networkx oracle"
+    print(f"st-flow  cold          : {cold_s * 1e3:8.1f} ms/query "
+          f"({_fmt_qps(cold_qps)} q/s)  value={cold_value}")
+
+    # -- 2. warm st-flow: repeated query through the catalog
+    catalog = GraphCatalog()
+    catalog.register(name, g)
+    q = FlowQuery(name, s, t)
+    first = catalog.serve(q)
+    assert first.result.value == cold_value
+    t0 = time.perf_counter()
+    for _ in range(args.flow_repeats):
+        warm = catalog.serve(q)
+    warm_flow_s = (time.perf_counter() - t0) / args.flow_repeats
+    warm_flow_qps = 1.0 / warm_flow_s
+    assert warm.warm and warm.result == first.result
+    flow_speedup = warm_flow_qps / cold_qps
+    print(f"st-flow  warm repeated : {warm_flow_s * 1e6:8.1f} us/query "
+          f"({_fmt_qps(warm_flow_qps)} q/s)  "
+          f"speedup {flow_speedup:,.0f}x")
+
+    # -- 3. warm st-flow, distinct pairs: artifact reuse only
+    rng = random.Random(args.seed)
+    pairs = []
+    while len(pairs) < args.distinct_pairs:
+        a, b = rng.randrange(g.n), rng.randrange(g.n)
+        if a != b:
+            pairs.append((a, b))
+    t0 = time.perf_counter()
+    for a, b in pairs:
+        catalog.serve(FlowQuery(name, a, b))
+    distinct_s = (time.perf_counter() - t0) / len(pairs)
+    print(f"st-flow  warm distinct : {distinct_s * 1e3:8.1f} ms/query "
+          f"({_fmt_qps(1.0 / distinct_s)} q/s)  "
+          f"amortization {cold_s / distinct_s:.2f}x")
+
+    # -- girth through the same catalog (oracle warm on repeat)
+    gq = catalog.serve(GirthQuery(name))
+    assert gq.result == weighted_girth(g, backend="engine")
+    assert catalog.serve(GirthQuery(name)).warm
+
+    # -- 4. cold distance: one labeling construction per query
+    t0 = time.perf_counter()
+    lab = DualDistanceLabeling(build_bdd(g), default_dual_lengths(g))
+    ref01 = lab.distance(0, 1)
+    cold_dist_s = time.perf_counter() - t0
+    print(f"distance cold          : {cold_dist_s * 1e3:8.1f} ms/query "
+          f"({_fmt_qps(1.0 / cold_dist_s)} q/s)  [one Thm 2.1 build]")
+
+    # -- 5. warm distance: distinct pairs decoded from cached labels
+    assert catalog.serve(DistanceQuery(name, 0, 1)).result == ref01
+    nf = g.num_faces()
+    fh = [(rng.randrange(nf), rng.randrange(nf))
+          for _ in range(args.distance_pairs)]
+    t0 = time.perf_counter()
+    values = [catalog.serve(DistanceQuery(name, f, h)).result
+              for f, h in fh]
+    warm_dist_s = (time.perf_counter() - t0) / len(fh)
+    warm_dist_qps = 1.0 / warm_dist_s
+    dist_speedup = warm_dist_qps * cold_dist_s
+    print(f"distance warm distinct : {warm_dist_s * 1e6:8.1f} us/query "
+          f"({_fmt_qps(warm_dist_qps)} q/s)  "
+          f"speedup {dist_speedup:,.0f}x")
+    sample = rng.sample(range(len(fh)), min(20, len(fh)))
+    for i in sample:
+        f, h = fh[i]
+        assert values[i] == lab.distance(f, h), "warm decode mismatch"
+
+    ok_flow = flow_speedup >= 10.0
+    ok_dist = dist_speedup >= 100.0
+    print(f"acceptance (flow warm/cold >= 10x)      : "
+          f"{'PASS' if ok_flow else 'FAIL'} ({flow_speedup:,.0f}x)")
+    print(f"acceptance (distance warm/cold >= 100x) : "
+          f"{'PASS' if ok_dist else 'FAIL'} ({dist_speedup:,.0f}x)")
+    return 0 if (ok_flow and ok_dist) else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -26,6 +26,7 @@ PUBLIC_MODULES = [
     "repro.labeling",
     "repro.planar",
     "repro.engine",
+    "repro.service",
     "repro.congest",
     "repro.aggregation",
     "repro.shortcuts",

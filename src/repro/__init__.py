@@ -17,6 +17,11 @@ Public API highlights:
   buffers for the flow family, and the Dijkstra / dart-simple-cycle
   kernels (:mod:`repro.engine.dijkstra`, :mod:`repro.engine.cycles`)
   for girth and global min-cut
+* :mod:`repro.service` — the query-serving layer:
+  :class:`~repro.service.catalog.GraphCatalog` (named graphs + LRU
+  artifact/result caches), typed flow/cut/girth/distance queries, and
+  batched / process-sharded execution (``python -m repro.service``
+  for a demo)
 
 See README.md for the quickstart and the API-to-theorem table,
 docs/API.md for the full reference with the backend support matrix,
@@ -36,7 +41,7 @@ from repro.engine import CompiledPlanarGraph, FlowWorkspace, compile_graph
 from repro.labeling import DualDistanceLabeling, PrimalDistanceLabeling
 from repro.planar import DualGraph, PlanarGraph
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "RoundLedger",

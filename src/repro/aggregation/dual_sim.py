@@ -24,6 +24,7 @@ like the flow engine (DESIGN.md §2/§6).
 
 from __future__ import annotations
 
+from repro._artifacts import graph_fingerprint, shared_cache
 from repro.aggregation.model import MinorAggregationGraph
 
 BACKENDS = ("legacy", "engine")
@@ -48,24 +49,23 @@ class DualMAHost:
         else:
             self.pa = None
             self.dual = None
-            from repro.engine.cycles import (
-                DartCycleOracle,
-                primal_cycle_arcs,
-            )
+            # shared-cached like compile_graph, so repeated engine hosts
+            # reuse one loaded oracle; keyed on the weight fingerprint
+            # (arc lengths are baked in, unlike the topology-only CSR
+            # cache), so in-place weight mutation misses rather than
+            # serving a stale oracle
+            fp = graph_fingerprint(primal)
+            self._oracle = shared_cache().get_or_build(
+                ("cycle-oracle", fp.topo, fp.weights),
+                lambda: self._build_oracle(primal))
 
-            # cached on the graph like compile_graph, so repeated engine
-            # hosts reuse one loaded oracle; keyed on the weights (arc
-            # lengths are baked in, unlike the topology-only CSR cache).
-            # Same structural contract as compile_graph: topology edits
-            # create a new PlanarGraph, so only weights can go stale
-            wkey = tuple(primal.weights)
-            cached = getattr(primal, "_engine_cycle_cache", None)
-            if cached is not None and cached[0] == wkey:
-                self._oracle = cached[1]
-            else:
-                self._oracle = DartCycleOracle(primal.n)
-                self._oracle.load_arcs(primal_cycle_arcs(primal))
-                primal._engine_cycle_cache = (wkey, self._oracle)
+    @staticmethod
+    def _build_oracle(primal):
+        from repro.engine.cycles import DartCycleOracle, primal_cycle_arcs
+
+        oracle = DartCycleOracle(primal.n)
+        oracle.load_arcs(primal_cycle_arcs(primal))
+        return oracle
 
     @property
     def pa_rounds(self):

@@ -35,15 +35,38 @@ class MinCutResult:
 
 
 def min_st_cut(graph, s, t, directed=True, leaf_size=None, ledger=None,
-               backend="legacy"):
+               backend="legacy", solver=None):
     """Exact minimum st-cut (Theorem 6.1).
 
     ``backend="engine"`` runs the underlying max-flow on the compiled
     array kernel of :mod:`repro.engine` (identical output, no round
     audit); the residual sweep below is backend-independent.
+
+    ``solver`` lets batched callers (the serving layer of
+    :mod:`repro.service`) reuse one prebuilt :class:`PlanarMaxFlow` —
+    and hence its probe-invariant BDD / compiled-CSR / workspace
+    structures — across many ``(s, t)`` pairs.  The solver must have
+    been built for the same graph and direction convention, and it
+    *carries its own* backend, leaf size and (absent) ledger — passing
+    ``ledger`` alongside ``solver`` raises rather than silently
+    recording an empty audit.  The result is identical to the per-call
+    path because ``min_st_cut`` without a solver builds exactly this
+    object.
     """
-    solver = PlanarMaxFlow(graph, directed=directed, leaf_size=leaf_size,
-                           ledger=ledger, backend=backend)
+    if solver is None:
+        solver = PlanarMaxFlow(graph, directed=directed,
+                               leaf_size=leaf_size, ledger=ledger,
+                               backend=backend)
+    else:
+        if solver.graph is not graph or solver.directed != directed:
+            raise ValueError("prebuilt solver does not match the "
+                             "requested graph/directedness")
+        if ledger is not None:
+            raise ValueError("a prebuilt solver carries its own "
+                             "(ledger-free) configuration; drop "
+                             "ledger= or drop solver= for an audited "
+                             "run")
+        backend = solver.backend
     res = solver.solve(s, t)
 
     # residual capacities per dart

@@ -18,12 +18,15 @@ Miller–Naor binary search changes them every probe, so they live in the
 reusable buffers of :class:`repro.engine.workspace.FlowWorkspace`, keyed
 by the ``slot_of_dart`` permutation computed here.
 
-Compilation is cached on the graph instance (:func:`compile_graph`), so
-every solver, benchmark and test sharing a graph shares one compiled
-topology — the dual topology never depends on λ, only the lengths do.
+Compilation is cached in the process-wide artifact cache keyed by the
+graph's topology token (:func:`compile_graph`), so every solver,
+benchmark and test sharing a graph shares one compiled topology — the
+dual topology never depends on λ, only the lengths do.
 """
 
 from __future__ import annotations
+
+from repro._artifacts import shared_cache, topo_token
 
 
 class CompiledPlanarGraph:
@@ -97,14 +100,14 @@ class CompiledPlanarGraph:
         self.prim_darts = [d for rot in graph.rotations for d in rot]
 
 def compile_graph(graph):
-    """Compiled topology of ``graph``, cached on the instance.
+    """Compiled topology of ``graph``, cached in the shared
+    :class:`~repro._artifacts.ArtifactCache` under the graph's topology
+    token (formerly an ad-hoc ``_engine_compiled`` instance attribute).
 
     The compiled object is immutable topology; capacities/weights are
     read through to the source graph at use time, so only *structural*
-    edits (which create a new :class:`PlanarGraph` anyway) invalidate it.
+    edits (which create a new :class:`PlanarGraph`, hence a new token)
+    invalidate it.  LRU eviction just means a recompile on next use.
     """
-    cached = getattr(graph, "_engine_compiled", None)
-    if cached is None:
-        cached = CompiledPlanarGraph(graph)
-        graph._engine_compiled = cached
-    return cached
+    return shared_cache().get_or_build(
+        ("csr", topo_token(graph)), lambda: CompiledPlanarGraph(graph))

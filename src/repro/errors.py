@@ -35,3 +35,8 @@ class DecompositionError(ReproError):
 
 class SimulationError(ReproError):
     """The CONGEST simulator was driven into an invalid state."""
+
+
+class ServiceError(ReproError):
+    """The serving layer was asked for an unknown graph or an invalid
+    query (e.g. a backend the planner does not recognize)."""

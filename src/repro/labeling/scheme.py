@@ -15,6 +15,12 @@ Bottom-up over the BDD levels:
 
 Negative cycles are detected in the leafmost bag containing them
 (Lemma 5.19) and surface as :class:`NegativeCycleError`.
+
+A labeling is built once and then *answers queries* (Lemma 2.2): the
+serving layer caches one instance per graph weight fingerprint and
+routes every :class:`~repro.service.queries.DistanceQuery` through
+:meth:`DualDistanceLabeling.distance` — see
+:mod:`repro.service` and DESIGN.md §8 for the amortization economics.
 """
 
 from __future__ import annotations

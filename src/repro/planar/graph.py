@@ -317,6 +317,15 @@ class PlanarGraph:
             capacities=self.capacities if capacities is None else capacities,
             validate=False)
 
+    def __getstate__(self):
+        # the artifact-cache topology token (repro._artifacts) is
+        # process-local: carrying it across a pickle would let a
+        # receiving process collide two different graphs in its own
+        # caches, so a pickled copy must earn a fresh token there
+        state = self.__dict__.copy()
+        state.pop("_artifact_topo_token", None)
+        return state
+
 
 class SubgraphView:
     """A live-edge view of a :class:`PlanarGraph`.

@@ -1,0 +1,339 @@
+"""Graph catalog: named graphs plus the artifacts that make queries
+cheap (DESIGN.md §8).
+
+The paper's central data structure — the Õ(D)-bit dual distance
+labeling of Theorem 2.1 — is *built once and then answers queries*; the
+same shape holds for every other expensive object in the stack (the
+compiled CSR topology, the BDD and its dual bags, loaded flow solvers,
+Dijkstra workspaces).  A :class:`GraphCatalog` makes that amortization
+explicit: register a graph under a name, and every query served against
+that name reuses the artifacts of all previous queries.
+
+Ownership and invalidation:
+
+* each catalog owns a private keyed :class:`~repro._artifacts.
+  ArtifactCache` (``catalog.artifacts``) for named-graph artifacts and
+  a second one (``catalog.results``) for memoized query results, both
+  with LRU bounds;
+* every *weight- or capacity-dependent* artifact key embeds the hash
+  components of the graph's current :func:`~repro._artifacts.
+  graph_fingerprint`, so mutating weights in place can never serve a
+  stale artifact — the old key simply stops matching.  Explicit
+  :meth:`GraphCatalog.invalidate` additionally frees the dead entries
+  instead of waiting for LRU eviction;
+* topology-only artifacts (compiled CSR) stay in the engine's
+  process-wide shared cache — the catalog does not duplicate them.
+"""
+
+from __future__ import annotations
+
+from repro._artifacts import (
+    ArtifactCache,
+    Fingerprint,
+    graph_fingerprint,
+    shared_cache,
+    topo_token,
+)
+from repro.errors import ServiceError
+
+
+def default_dual_lengths(graph):
+    """The dual arc lengths a :class:`~repro.service.queries.
+    DistanceQuery` is answered under: the primal edge weight on plus
+    darts and 0 on reverse darts — the directed capacity convention of
+    Sections 6–7, matching ``DualGraph.arcs(lengths=None)``."""
+    lengths = {}
+    for eid in range(graph.m):
+        lengths[2 * eid] = graph.weights[eid]
+        lengths[2 * eid + 1] = 0
+    return lengths
+
+
+class WorkspacePool:
+    """A free-list of reusable workspaces for one compiled graph.
+
+    Sequential callers lease the same instance over and over (zero
+    allocation in steady state); concurrent callers each get their own,
+    returned to the pool on release.  Use :meth:`lease` as a context
+    manager, or :meth:`acquire` / :meth:`release` directly.
+    """
+
+    def __init__(self, factory):
+        self._factory = factory
+        self._free = []
+        #: total workspaces ever constructed (observability)
+        self.created = 0
+
+    def acquire(self):
+        if self._free:
+            return self._free.pop()
+        self.created += 1
+        return self._factory()
+
+    def release(self, workspace):
+        self._free.append(workspace)
+
+    def lease(self):
+        return _Lease(self)
+
+    def __len__(self):
+        """Workspaces currently idle in the pool."""
+        return len(self._free)
+
+
+class _Lease:
+    def __init__(self, pool):
+        self._pool = pool
+        self._ws = None
+
+    def __enter__(self):
+        self._ws = self._pool.acquire()
+        return self._ws
+
+    def __exit__(self, *exc):
+        self._pool.release(self._ws)
+        self._ws = None
+        return False
+
+
+class CatalogEntry:
+    """One registered graph and accessors for its cached artifacts.
+
+    Accessors build on first use and hit ``catalog.artifacts``
+    afterwards; keys embed the entry name plus whichever fingerprint
+    components the artifact depends on (see the module docstring).
+    """
+
+    def __init__(self, catalog, name, graph):
+        self.catalog = catalog
+        self.name = name
+        self.graph = graph
+        #: fingerprint at registration/invalidation time (observability
+        #: only — cache keys always use the *current* fingerprint)
+        self.registered_fingerprint = graph_fingerprint(graph)
+
+    def fingerprint(self) -> Fingerprint:
+        """The graph's current fingerprint (re-hashes weights, O(m))."""
+        return graph_fingerprint(self.graph)
+
+    # ------------------------------------------------------------------
+    # artifacts
+    # ------------------------------------------------------------------
+    def compiled(self):
+        """The compiled CSR topology (engine shared cache; topology
+        only, so it survives weight mutation)."""
+        from repro.engine import compile_graph
+
+        return compile_graph(self.graph)
+
+    def flow_solver(self, directed=True, backend="engine",
+                    leaf_size=None):
+        """A reusable :class:`~repro.core.maxflow.PlanarMaxFlow` bound
+        to the current capacities.
+
+        The engine solver owns the reusable
+        :class:`~repro.engine.workspace.FlowWorkspace`; the legacy
+        solver owns the BDD and dual bags.  Either way, this is the
+        artifact that turns thousands of ``(s, t)`` probes into
+        amortized work.
+        """
+        fp = self.fingerprint()
+        key = ("flow-solver", self.name, fp.capacities, directed,
+               backend, leaf_size)
+
+        def build():
+            from repro.core import PlanarMaxFlow
+
+            return PlanarMaxFlow(self.graph, directed=directed,
+                                 leaf_size=leaf_size, backend=backend)
+
+        return self.catalog.artifacts.get_or_build(key, build)
+
+    def bdd(self, leaf_size=None):
+        """The bounded-diameter decomposition (topology only)."""
+        key = ("bdd", self.name, leaf_size)
+
+        def build():
+            from repro.bdd import build_bdd
+
+            return build_bdd(self.graph, leaf_size=leaf_size)
+
+        return self.catalog.artifacts.get_or_build(key, build)
+
+    def labeling(self, leaf_size=None):
+        """The dual distance labeling under :func:`default_dual_lengths`
+        (Theorem 2.1) — build once, then every
+        :class:`~repro.service.queries.DistanceQuery` decodes from the
+        cached labels in label-size time (Lemma 2.2)."""
+        fp = self.fingerprint()
+        key = ("labeling", self.name, fp.weights, leaf_size)
+
+        def build():
+            from repro.bdd import build_all_dual_bags
+            from repro.labeling import DualDistanceLabeling
+
+            bdd = self.bdd(leaf_size=leaf_size)
+            duals_key = ("dual-bags", self.name, leaf_size)
+            duals = self.catalog.artifacts.get_or_build(
+                duals_key, lambda: build_all_dual_bags(bdd))
+            return DualDistanceLabeling(bdd,
+                                        default_dual_lengths(self.graph),
+                                        duals=duals)
+
+        return self.catalog.artifacts.get_or_build(key, build)
+
+    def flow_workspace_pool(self):
+        """Pool of :class:`~repro.engine.workspace.FlowWorkspace` over
+        the compiled dual (for kernel-level callers running their own
+        length schedules)."""
+        key = ("flow-pool", self.name)
+
+        def build():
+            from repro.engine import FlowWorkspace
+
+            compiled = self.compiled()
+            return WorkspacePool(lambda: FlowWorkspace(compiled))
+
+        return self.catalog.artifacts.get_or_build(key, build)
+
+    def dijkstra_workspace_pool(self, num_ids=None):
+        """Pool of :class:`~repro.engine.dijkstra.DijkstraWorkspace`
+        over an id universe (default: the primal vertices)."""
+        n = self.graph.n if num_ids is None else num_ids
+        key = ("dijkstra-pool", self.name, n)
+
+        def build():
+            from repro.engine import DijkstraWorkspace
+
+            return WorkspacePool(lambda: DijkstraWorkspace(n))
+
+        return self.catalog.artifacts.get_or_build(key, build)
+
+
+class GraphCatalog:
+    """Named graphs + owned artifact/result caches + query dispatch.
+
+    The serving facade: ``register`` a graph, then ``serve`` typed
+    queries (:mod:`repro.service.queries`) or hand batches to
+    :func:`repro.service.batch.run_batch`.  ``max_artifacts`` bounds
+    heavyweight derived objects (solvers, labelings, BDDs);
+    ``max_results`` bounds the memoized query results.
+    """
+
+    def __init__(self, max_artifacts=64, max_results=4096, planner=None):
+        self._entries = {}
+        self.artifacts = ArtifactCache(maxsize=max_artifacts)
+        self.results = ArtifactCache(maxsize=max_results)
+        if planner is None:
+            from repro.service.queries import QueryPlanner
+
+            planner = QueryPlanner()
+        self.planner = planner
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, name, graph, overwrite=False):
+        """Register ``graph`` under ``name``; returns the entry.
+
+        Re-registering an existing name requires ``overwrite=True`` and
+        drops the old name's artifacts and results.
+        """
+        if name in self._entries:
+            if not overwrite:
+                raise ServiceError(f"graph {name!r} is already "
+                                   f"registered (overwrite=True to "
+                                   f"replace)")
+            self.invalidate(name)
+        entry = CatalogEntry(self, name, graph)
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name):
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ServiceError(f"unknown graph {name!r}; registered: "
+                               f"{sorted(self._entries)}")
+        return entry
+
+    def __contains__(self, name):
+        return name in self._entries
+
+    def names(self):
+        return sorted(self._entries)
+
+    def unregister(self, name):
+        """Forget ``name`` and free everything cached for it —
+        including the graph's entries in the engine's process-wide
+        shared cache (compiled CSR, cycle oracles), which would
+        otherwise keep the graph alive until LRU eviction."""
+        entry = self.get(name)
+        self.invalidate(name)
+        topo = topo_token(entry.graph)
+        shared_cache().invalidate(lambda k: len(k) > 1 and k[1] == topo)
+        del self._entries[name]
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, name):
+        """Explicitly drop every artifact and memoized result of
+        ``name``.
+
+        Fingerprint-keyed lookups are already stale-proof (mutated
+        weights miss); this frees the dead entries immediately and
+        refreshes the entry's recorded fingerprint.  Returns the number
+        of cache entries removed.
+        """
+        entry = self._entries.get(name)
+        removed = self.artifacts.invalidate(
+            lambda k: len(k) > 1 and k[1] == name)
+        removed += self.results.invalidate(
+            lambda k: len(k) > 1 and k[1] == name)
+        if entry is not None:
+            entry.registered_fingerprint = graph_fingerprint(entry.graph)
+        return removed
+
+    def set_weights(self, name, weights=None, capacities=None):
+        """Mutate a registered graph's weights/capacities in place and
+        invalidate its dead artifacts in one step — the supported way to
+        reprice a served graph."""
+        g = self.get(name).graph
+        weights = None if weights is None else list(weights)
+        capacities = None if capacities is None else list(capacities)
+        for label, values in (("weights", weights),
+                              ("capacities", capacities)):
+            if values is not None and len(values) != g.m:
+                raise ServiceError(
+                    f"{label} for {name!r} must have one entry per "
+                    f"edge (got {len(values)}, graph has m={g.m})")
+        if weights is not None:
+            g.weights[:] = weights
+        if capacities is not None:
+            g.capacities[:] = capacities
+        return self.invalidate(name)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def serve(self, query, planner=None):
+        """Execute one typed query; returns a
+        :class:`~repro.service.queries.QueryResult`."""
+        from repro.service.queries import execute_query
+
+        return execute_query(self, query, planner=planner)
+
+    def serve_batch(self, queries, planner=None):
+        """Execute a query batch; returns a
+        :class:`~repro.service.batch.BatchReport`."""
+        from repro.service.batch import run_batch
+
+        return run_batch(self, queries, planner=planner)
+
+    def stats(self):
+        """Cache observability: artifact/result cache counters plus the
+        engine's shared cache."""
+        return {"artifacts": self.artifacts.stats(),
+                "results": self.results.stats(),
+                "shared": shared_cache().stats(),
+                "graphs": self.names()}

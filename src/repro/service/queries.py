@@ -1,0 +1,210 @@
+"""Typed queries, the backend planner, and single-query execution
+(DESIGN.md §8).
+
+A query is a frozen (hashable) dataclass naming a registered graph plus
+the parameters of one theorem entry point:
+
+* :class:`FlowQuery`   → :func:`repro.core.max_st_flow` (Theorem 1.2)
+* :class:`CutQuery`    → :func:`repro.core.min_st_cut` (Theorem 6.1)
+* :class:`GirthQuery`  → :func:`repro.core.weighted_girth` (Theorem 1.7)
+* :class:`DistanceQuery` → dual distance decoded straight from the
+  cached :class:`~repro.labeling.DualDistanceLabeling` (Lemma 2.2)
+
+Execution goes through one :class:`QueryPlanner` that resolves each
+query to a backend (``legacy`` — the round-audited reference, or
+``engine`` — the compiled-array fast path; distance queries always
+decode from labels), then :func:`execute_query` dispatches with every
+level of amortization the catalog offers:
+
+1. **result memoization** — the resolved ``(query, backend)`` pair plus
+   the graph's current weight/capacity fingerprint keys a result cache,
+   so a repeated query is a dictionary lookup;
+2. **artifact reuse** — a cold result still reuses the cached solver /
+   labeling / compiled topology of every previous query on that graph.
+
+Results are *bit-identical* to the corresponding per-call entry point
+on both backends (``tests/test_service.py``): the dispatch constructs
+exactly the objects the one-shot functions construct, just cached.
+
+**Ownership**: memoization means a warm hit returns the *same* result
+object every caller of that query sees (that sharing is the speedup).
+Treat served results as immutable; a caller that wants to edit e.g. a
+flow assignment dict must copy it first — unlike the per-call entry
+points, which build a fresh object per call.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+
+#: backends a query may request; ``auto`` defers to the planner
+QUERY_BACKENDS = ("auto", "legacy", "engine")
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class FlowQuery:
+    """Exact max st-flow (Theorem 1.2) against a registered graph."""
+
+    graph: str
+    s: int
+    t: int
+    directed: bool = True
+    backend: str = "auto"
+    validate: bool = True
+    #: legacy-backend BDD knob (ignored by the engine)
+    leaf_size: int | None = None
+
+
+@dataclass(frozen=True)
+class CutQuery:
+    """Exact min st-cut (Theorem 6.1) against a registered graph."""
+
+    graph: str
+    s: int
+    t: int
+    directed: bool = True
+    backend: str = "auto"
+    leaf_size: int | None = None
+
+
+@dataclass(frozen=True)
+class GirthQuery:
+    """Exact weighted girth (Theorem 1.7) of a registered graph."""
+
+    graph: str
+    backend: str = "auto"
+    #: tree-packing knob of the legacy Theorem 4.16 substitute
+    num_trees: int | None = None
+
+
+@dataclass(frozen=True)
+class DistanceQuery:
+    """dist_{G*}(f → g) under :func:`~repro.service.catalog.
+    default_dual_lengths`, decoded from the cached labels (Lemma 2.2).
+
+    There is no backend choice: the label decode *is* the warm path the
+    labeling scheme exists for — the cold cost is one Theorem 2.1
+    construction, cached per weight fingerprint.
+    """
+
+    graph: str
+    f: int
+    g: int
+    leaf_size: int | None = None
+
+
+@dataclass
+class QueryResult:
+    """Envelope for one served query."""
+
+    query: object
+    #: resolved backend ("legacy" / "engine" / "labels")
+    backend: str
+    #: the underlying result object (MaxFlowResult, MinCutResult,
+    #: GirthResult or None, or a plain distance number).  Shared with
+    #: every other caller of the same query via the result cache —
+    #: treat as immutable, copy before editing
+    result: object
+    #: True when the result came from the catalog's result cache
+    warm: bool
+    seconds: float = field(repr=False, default=0.0)
+
+
+class QueryPlanner:
+    """Resolves each query to an execution backend.
+
+    ``auto`` routes flow/cut/girth queries to the engine once the graph
+    has at least ``engine_min_n`` vertices (default 0: always engine —
+    the engine is output-identical and strictly faster; the legacy
+    backend exists for round audits, which a serving path does not
+    produce).  An explicit ``backend=`` on the query always wins, so
+    callers can pin the reference path per query.
+    """
+
+    def __init__(self, default_backend="engine", engine_min_n=0):
+        if default_backend not in ("legacy", "engine"):
+            raise ServiceError(f"unknown default backend "
+                               f"{default_backend!r}")
+        self.default_backend = default_backend
+        self.engine_min_n = engine_min_n
+
+    def plan(self, query, graph):
+        """The backend ``query`` runs on against ``graph``."""
+        if isinstance(query, DistanceQuery):
+            return "labels"
+        backend = query.backend
+        if backend not in QUERY_BACKENDS:
+            raise ServiceError(f"unknown backend {backend!r}; expected "
+                               f"one of {QUERY_BACKENDS}")
+        if backend != "auto":
+            return backend
+        if self.default_backend == "engine" \
+                and graph.n >= self.engine_min_n:
+            return "engine"
+        return "legacy"
+
+
+def execute_query(catalog, query, planner=None):
+    """Serve one typed query from a :class:`~repro.service.catalog.
+    GraphCatalog`; returns a :class:`QueryResult`.
+
+    The result cache key embeds the resolved backend and the graph's
+    current weight/capacity hashes, so repeats are warm hits and
+    in-place weight mutation is never served stale.
+    """
+    entry = catalog.get(query.graph)
+    if planner is None:
+        planner = catalog.planner
+    backend = planner.plan(query, entry.graph)
+    fp = entry.fingerprint()
+
+    t0 = time.perf_counter()
+    key = ("result", query.graph, query, backend, fp.weights,
+           fp.capacities)
+    cached = catalog.results.get(key, _MISS)
+    if cached is not _MISS:
+        return QueryResult(query=query, backend=backend, result=cached,
+                           warm=True, seconds=time.perf_counter() - t0)
+
+    result = _dispatch(entry, query, backend)
+    catalog.results.put(key, result)
+    return QueryResult(query=query, backend=backend, result=result,
+                       warm=False, seconds=time.perf_counter() - t0)
+
+
+def _dispatch(entry, query, backend):
+    """Run the underlying entry point with the catalog's artifacts."""
+    if isinstance(query, FlowQuery):
+        solver = entry.flow_solver(directed=query.directed,
+                                   backend=backend,
+                                   leaf_size=query.leaf_size)
+        return solver.solve(query.s, query.t, validate=query.validate)
+
+    if isinstance(query, CutQuery):
+        from repro.core import min_st_cut
+
+        solver = entry.flow_solver(directed=query.directed,
+                                   backend=backend,
+                                   leaf_size=query.leaf_size)
+        return min_st_cut(entry.graph, query.s, query.t,
+                          directed=query.directed, backend=backend,
+                          solver=solver)
+
+    if isinstance(query, GirthQuery):
+        from repro.core import weighted_girth
+
+        # the engine's cycle oracle is shared-cached per weight
+        # fingerprint (repro._artifacts), so repeats are warm there too
+        return weighted_girth(entry.graph, num_trees=query.num_trees,
+                              backend=backend)
+
+    if isinstance(query, DistanceQuery):
+        labeling = entry.labeling(leaf_size=query.leaf_size)
+        return labeling.distance(query.f, query.g)
+
+    raise ServiceError(f"unknown query type {type(query).__name__}")

@@ -1,0 +1,500 @@
+"""The serving layer: artifact cache semantics, catalog lifecycle,
+query parity against the per-call entry points (both backends), batch
+execution, LRU bounds, staleness under in-place mutation, and the
+process-shard fan-out."""
+
+import pytest
+
+from repro._artifacts import (
+    ArtifactCache,
+    graph_fingerprint,
+    shared_cache,
+    topo_token,
+)
+from repro.aggregation.dual_sim import DualMAHost
+from repro.bdd import build_bdd
+from repro.core import max_st_flow, min_st_cut, weighted_girth
+from repro.engine import compile_graph
+from repro.errors import ServiceError
+from repro.labeling import DualDistanceLabeling
+from repro.planar.generators import grid, randomize_weights, wheel
+from repro.service import (
+    BatchReport,
+    CutQuery,
+    DistanceQuery,
+    FlowQuery,
+    GirthQuery,
+    GraphCatalog,
+    QueryPlanner,
+    WorkspacePool,
+    default_dual_lengths,
+    run_batch,
+    run_sharded,
+)
+
+BACKENDS = ["legacy", "engine"]
+
+
+def make_grid(rows=4, cols=5, seed=3):
+    return randomize_weights(grid(rows, cols), seed=seed,
+                             directed_capacities=True)
+
+
+# ----------------------------------------------------------------------
+# ArtifactCache
+# ----------------------------------------------------------------------
+class TestArtifactCache:
+    def test_hit_miss_counters(self):
+        c = ArtifactCache()
+        assert c.get(("a",)) is None
+        c.put(("a",), 1)
+        assert c.get(("a",)) == 1
+        assert c.stats()["hits"] == 1
+        assert c.stats()["misses"] == 1
+
+    def test_get_or_build_builds_once(self):
+        c = ArtifactCache()
+        calls = []
+        for _ in range(3):
+            v = c.get_or_build(("k",), lambda: calls.append(1) or "v")
+            assert v == "v"
+        assert len(calls) == 1
+
+    def test_lru_eviction_bound(self):
+        c = ArtifactCache(maxsize=2)
+        c.put(("a",), 1)
+        c.put(("b",), 2)
+        c.get(("a",))          # refresh a; b is now LRU
+        c.put(("c",), 3)
+        assert len(c) == 2
+        assert ("a",) in c and ("c",) in c and ("b",) not in c
+        assert c.evictions == 1
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(maxsize=0)
+
+    def test_invalidate_prefix_and_predicate(self):
+        c = ArtifactCache()
+        c.put(("solver", "g1", 0), 1)
+        c.put(("solver", "g2", 0), 2)
+        c.put(("labeling", "g1"), 3)
+        assert c.invalidate(("solver",)) == 2
+        assert len(c) == 1
+        assert c.invalidate(lambda k: k[1] == "g1") == 1
+        assert len(c) == 0
+
+    def test_invalidate_empty_prefix_clears(self):
+        c = ArtifactCache()
+        c.put(("a",), 1)
+        c.put(("b",), 2)
+        assert c.invalidate() == 2
+        assert len(c) == 0
+
+    def test_discard(self):
+        c = ArtifactCache()
+        c.put(("a",), 1)
+        assert c.discard(("a",)) is True
+        assert c.discard(("a",)) is False
+
+
+# ----------------------------------------------------------------------
+# fingerprints + the migrated engine caches
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_stable_and_weight_sensitive(self):
+        g = make_grid()
+        fp1 = graph_fingerprint(g)
+        assert graph_fingerprint(g) == fp1
+        g.weights[0] += 7
+        fp2 = graph_fingerprint(g)
+        assert fp2.topo == fp1.topo
+        assert fp2.weights != fp1.weights
+        assert fp2.capacities == fp1.capacities
+
+    def test_copy_gets_fresh_topology_token(self):
+        g = make_grid()
+        assert topo_token(g) != topo_token(g.copy())
+        assert topo_token(g) == topo_token(g)
+
+    def test_topo_token_does_not_survive_pickling(self):
+        # a pickled graph carrying a foreign process's token could
+        # collide with a different graph in the receiver's caches
+        # (e.g. a run_sharded worker serving two shards)
+        import pickle
+
+        g = make_grid()
+        topo_token(g)
+        h = pickle.loads(pickle.dumps(g))
+        assert not hasattr(h, "_artifact_topo_token")
+        assert topo_token(h) != topo_token(g)
+        # and the round-trip still fingerprints/compiles correctly
+        c = compile_graph(h)
+        assert c.dual_indptr == compile_graph(g).dual_indptr
+
+
+class TestMigratedEngineCaches:
+    def test_compile_graph_shared_cache_identity(self):
+        g = make_grid()
+        c1 = compile_graph(g)
+        assert compile_graph(g) is c1
+        # the ad-hoc instance attribute is gone
+        assert not hasattr(g, "_engine_compiled")
+        # eviction just means a recompile with identical content
+        shared_cache().discard(("csr", topo_token(g)))
+        c2 = compile_graph(g)
+        assert c2 is not c1
+        assert c2.dual_indptr == c1.dual_indptr
+        assert c2.dual_arc_dart == c1.dual_arc_dart
+
+    def test_cycle_oracle_shared_and_weight_keyed(self):
+        g = make_grid()
+        h1 = DualMAHost(g, backend="engine")
+        h2 = DualMAHost(g, backend="engine")
+        assert h1.engine_cycle_oracle() is h2.engine_cycle_oracle()
+        assert not hasattr(g, "_engine_cycle_cache")
+        # in-place weight mutation must produce a fresh oracle (the
+        # stale-cache hazard the fingerprint keying fixes)
+        before = weighted_girth(g, backend="engine").value
+        g.weights[0] += 100
+        h3 = DualMAHost(g, backend="engine")
+        assert h3.engine_cycle_oracle() is not h1.engine_cycle_oracle()
+        after_engine = weighted_girth(g, backend="engine")
+        after_legacy = weighted_girth(g, backend="legacy")
+        assert after_engine.value == after_legacy.value
+        assert after_engine.value >= before  # weight only increased
+
+
+# ----------------------------------------------------------------------
+# catalog lifecycle
+# ----------------------------------------------------------------------
+class TestCatalog:
+    def test_register_get_unregister(self):
+        cat = GraphCatalog()
+        g = make_grid()
+        entry = cat.register("g", g)
+        assert cat.get("g") is entry
+        assert "g" in cat and cat.names() == ["g"]
+        with pytest.raises(ServiceError):
+            cat.register("g", g)
+        cat.register("g", g.copy(), overwrite=True)
+        cat.unregister("g")
+        assert "g" not in cat
+        with pytest.raises(ServiceError):
+            cat.get("g")
+
+    def test_unknown_graph_raises(self):
+        cat = GraphCatalog()
+        with pytest.raises(ServiceError, match="unknown graph"):
+            cat.serve(FlowQuery("nope", 0, 1))
+
+    def test_invalidate_drops_artifacts_and_results(self):
+        cat = GraphCatalog()
+        g = make_grid()
+        cat.register("g", g)
+        cat.serve(FlowQuery("g", 0, g.n - 1))
+        cat.serve(DistanceQuery("g", 0, 1))
+        assert len(cat.artifacts) > 0 and len(cat.results) > 0
+        removed = cat.invalidate("g")
+        assert removed > 0
+        assert len(cat.artifacts) == 0 and len(cat.results) == 0
+
+    def test_artifact_lru_bound_holds(self):
+        cat = GraphCatalog(max_artifacts=2)
+        g = make_grid()
+        cat.register("g", g)
+        cat.serve(FlowQuery("g", 0, g.n - 1))
+        cat.serve(CutQuery("g", 0, g.n - 1, directed=False))
+        cat.serve(DistanceQuery("g", 0, 1))
+        assert len(cat.artifacts) <= 2
+        assert cat.artifacts.evictions > 0
+        # evicted artifacts rebuild transparently and answers stay right
+        res = cat.serve(FlowQuery("g", 0, g.n - 1)).result
+        assert res.value == max_st_flow(g, 0, g.n - 1).value
+
+    def test_set_weights_rejects_wrong_length(self):
+        cat = GraphCatalog()
+        g = make_grid()
+        cat.register("g", g)
+        before = list(g.weights)
+        with pytest.raises(ServiceError, match="one entry per edge"):
+            cat.set_weights("g", weights=[1] * (g.m - 1))
+        with pytest.raises(ServiceError, match="one entry per edge"):
+            cat.set_weights("g", capacities=[1] * (g.m + 3))
+        assert g.weights == before  # rejected repricing left no trace
+
+    def test_unregister_frees_shared_cache_entries(self):
+        cat = GraphCatalog()
+        g = make_grid()
+        cat.register("g", g)
+        cat.serve(GirthQuery("g"))  # populates csr + cycle-oracle
+        topo = topo_token(g)
+        assert any(k[1] == topo for k in shared_cache().keys())
+        cat.unregister("g")
+        assert not any(len(k) > 1 and k[1] == topo
+                       for k in shared_cache().keys())
+
+    def test_set_weights_reprices_queries(self):
+        cat = GraphCatalog()
+        g = make_grid()
+        cat.register("g", g)
+        before = cat.serve(GirthQuery("g")).result.value
+        cat.set_weights("g", weights=[w + 50 for w in g.weights])
+        after = cat.serve(GirthQuery("g")).result
+        assert after.value == weighted_girth(g).value
+        assert after.value > before
+
+
+# ----------------------------------------------------------------------
+# single-query parity with the per-call entry points
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestQueryParity:
+    def test_flow_query(self, backend):
+        g = make_grid()
+        cat = GraphCatalog()
+        cat.register("g", g)
+        got = cat.serve(FlowQuery("g", 0, g.n - 1, backend=backend))
+        ref = max_st_flow(g, 0, g.n - 1, backend=backend)
+        assert got.result == ref
+        assert got.backend == backend and got.warm is False
+
+    def test_cut_query(self, backend):
+        g = make_grid()
+        cat = GraphCatalog()
+        cat.register("g", g)
+        got = cat.serve(CutQuery("g", 0, g.n - 1, backend=backend))
+        ref = min_st_cut(g, 0, g.n - 1, backend=backend)
+        assert got.result == ref
+
+    def test_girth_query(self, backend):
+        g = make_grid(seed=9)
+        cat = GraphCatalog()
+        cat.register("g", g)
+        got = cat.serve(GirthQuery("g", backend=backend))
+        ref = weighted_girth(g, backend=backend)
+        assert got.result.value == ref.value
+        assert got.result.cycle_edge_ids == ref.cycle_edge_ids
+
+    def test_repeat_is_warm_and_identical(self, backend):
+        g = make_grid()
+        cat = GraphCatalog()
+        cat.register("g", g)
+        q = FlowQuery("g", 0, g.n - 1, backend=backend)
+        first = cat.serve(q)
+        second = cat.serve(q)
+        assert second.warm is True
+        assert second.result is first.result
+
+
+class TestDistanceQuery:
+    def test_distance_decodes_from_labels(self):
+        g = make_grid()
+        cat = GraphCatalog()
+        cat.register("g", g)
+        lab = DualDistanceLabeling(build_bdd(g), default_dual_lengths(g))
+        for f, h in [(0, 1), (2, 5), (5, 2), (3, 3)]:
+            got = cat.serve(DistanceQuery("g", f, h))
+            assert got.backend == "labels"
+            assert got.result == lab.distance(f, h)
+
+    def test_labeling_built_once(self):
+        g = make_grid()
+        cat = GraphCatalog()
+        cat.register("g", g)
+        cat.serve(DistanceQuery("g", 0, 1))
+        built = cat.artifacts.stats()["misses"]
+        for f in range(4):
+            cat.serve(DistanceQuery("g", f, 0))
+        # only result-cache keys changed; no new artifact builds
+        assert cat.artifacts.stats()["misses"] == built
+
+
+# ----------------------------------------------------------------------
+# staleness under in-place mutation (no explicit invalidate call)
+# ----------------------------------------------------------------------
+class TestStaleness:
+    def test_capacity_mutation_reprices_flow(self):
+        g = make_grid()
+        cat = GraphCatalog()
+        cat.register("g", g)
+        q = FlowQuery("g", 0, g.n - 1)
+        cat.serve(q)
+        for eid in range(g.m):
+            g.capacities[eid] += 5
+        got = cat.serve(q)
+        assert got.warm is False
+        assert got.result == max_st_flow(g, 0, g.n - 1, backend="engine")
+
+    def test_weight_mutation_reprices_distances(self):
+        g = make_grid()
+        cat = GraphCatalog()
+        cat.register("g", g)
+        q = DistanceQuery("g", 1, 3)
+        cat.serve(q)
+        g.weights[0] += 11
+        got = cat.serve(q)
+        assert got.warm is False
+        lab = DualDistanceLabeling(build_bdd(g), default_dual_lengths(g))
+        assert got.result == lab.distance(1, 3)
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def test_auto_routes_to_engine_by_default(self):
+        g = make_grid()
+        assert QueryPlanner().plan(FlowQuery("g", 0, 1), g) == "engine"
+
+    def test_engine_min_n_keeps_small_graphs_on_legacy(self):
+        g = make_grid()
+        planner = QueryPlanner(engine_min_n=g.n + 1)
+        assert planner.plan(FlowQuery("g", 0, 1), g) == "legacy"
+        assert planner.plan(GirthQuery("g"), g) == "legacy"
+
+    def test_explicit_backend_wins(self):
+        g = make_grid()
+        planner = QueryPlanner(engine_min_n=10 ** 9)
+        q = FlowQuery("g", 0, 1, backend="engine")
+        assert planner.plan(q, g) == "engine"
+
+    def test_distance_always_labels(self):
+        g = make_grid()
+        assert QueryPlanner().plan(DistanceQuery("g", 0, 1), g) \
+            == "labels"
+
+    def test_bad_backend_rejected(self):
+        g = make_grid()
+        with pytest.raises(ServiceError):
+            QueryPlanner().plan(FlowQuery("g", 0, 1, backend="vroom"), g)
+        with pytest.raises(ServiceError):
+            QueryPlanner(default_backend="vroom")
+
+
+# ----------------------------------------------------------------------
+# workspace pools
+# ----------------------------------------------------------------------
+class TestWorkspacePool:
+    def test_lease_reuses_instances(self):
+        built = []
+        pool = WorkspacePool(lambda: built.append(1) or object())
+        with pool.lease() as ws1:
+            pass
+        with pool.lease() as ws2:
+            assert ws2 is ws1
+        assert pool.created == 1 and len(pool) == 1
+
+    def test_concurrent_leases_get_distinct_instances(self):
+        pool = WorkspacePool(object)
+        a = pool.acquire()
+        b = pool.acquire()
+        assert a is not b and pool.created == 2
+        pool.release(a)
+        pool.release(b)
+        assert len(pool) == 2
+
+    def test_catalog_pools_are_cached_artifacts(self):
+        cat = GraphCatalog()
+        entry = cat.register("g", make_grid())
+        assert entry.flow_workspace_pool() is entry.flow_workspace_pool()
+        with entry.flow_workspace_pool().lease() as ws:
+            assert ws.compiled is entry.compiled()
+        assert entry.dijkstra_workspace_pool() \
+            is entry.dijkstra_workspace_pool()
+
+
+# ----------------------------------------------------------------------
+# batched execution
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_parity_with_per_call(backend):
+    g = make_grid(4, 4, seed=5)
+    cat = GraphCatalog()
+    cat.register("g", g)
+    pairs = [(0, g.n - 1), (1, g.n - 2), (g.n // 2, 0)]
+    queries = [FlowQuery("g", s, t, backend=backend) for s, t in pairs]
+    queries += [CutQuery("g", 0, g.n - 1, backend=backend),
+                GirthQuery("g", backend=backend),
+                DistanceQuery("g", 0, 2)]
+    report = run_batch(cat, queries)
+    assert isinstance(report, BatchReport)
+    assert [r.query for r in report.results] == queries
+
+    lab = DualDistanceLabeling(build_bdd(g), default_dual_lengths(g))
+    expected = [max_st_flow(g, s, t, backend=backend) for s, t in pairs]
+    expected += [min_st_cut(g, 0, g.n - 1, backend=backend),
+                 weighted_girth(g, backend=backend),
+                 lab.distance(0, 2)]
+    for got, want in zip(report.values(), expected):
+        assert got == want
+
+
+def test_min_st_cut_rejects_ledger_with_prebuilt_solver():
+    from repro.congest import RoundLedger
+    from repro.core import PlanarMaxFlow
+
+    g = make_grid()
+    solver = PlanarMaxFlow(g, directed=True, backend="engine")
+    with pytest.raises(ValueError, match="ledger"):
+        min_st_cut(g, 0, g.n - 1, ledger=RoundLedger(), solver=solver)
+    with pytest.raises(ValueError, match="does not match"):
+        min_st_cut(g.copy(), 0, g.n - 1, solver=solver)
+
+
+def test_batch_warm_accounting():
+    g = make_grid()
+    cat = GraphCatalog()
+    cat.register("g", g)
+    q = FlowQuery("g", 0, g.n - 1)
+    report = run_batch(cat, [q, q, q])
+    assert report.cold_misses == 1 and report.warm_hits == 2
+    kinds = report.by_kind()
+    assert kinds["FlowQuery"]["count"] == 3
+    assert kinds["FlowQuery"]["warm"] == 2
+
+
+def test_batch_across_multiple_graphs():
+    g1 = make_grid(4, 4, seed=1)
+    g2 = make_grid(3, 6, seed=2)
+    cat = GraphCatalog()
+    cat.register("g1", g1)
+    cat.register("g2", g2)
+    report = run_batch(cat, [FlowQuery("g1", 0, g1.n - 1),
+                             FlowQuery("g2", 0, g2.n - 1)])
+    assert report.values()[0] == max_st_flow(g1, 0, g1.n - 1,
+                                             backend="engine")
+    assert report.values()[1] == max_st_flow(g2, 0, g2.n - 1,
+                                             backend="engine")
+
+
+# ----------------------------------------------------------------------
+# process-shard fan-out
+# ----------------------------------------------------------------------
+def test_sharded_smoke_matches_sequential():
+    graphs = {"g1": make_grid(4, 4, seed=1),
+              "g2": randomize_weights(wheel(9), seed=2,
+                                      directed_capacities=True)}
+    queries = [FlowQuery("g1", 0, graphs["g1"].n - 1),
+               GirthQuery("g2"),
+               FlowQuery("g2", 0, graphs["g2"].n - 1),
+               DistanceQuery("g1", 0, 1),
+               FlowQuery("g1", 0, graphs["g1"].n - 1)]
+    sharded = run_sharded(graphs, queries, max_workers=2)
+
+    cat = GraphCatalog()
+    for name, g in graphs.items():
+        cat.register(name, g)
+    sequential = run_batch(cat, queries)
+
+    assert len(sharded.results) == len(queries)
+    for shard_r, seq_r in zip(sharded.results, sequential.results):
+        assert shard_r.query == seq_r.query
+        assert shard_r.result == seq_r.result
+    # the repeated g1 flow query is warm inside its shard
+    assert sharded.results[4].warm is True
+
+
+def test_sharded_unknown_graph_raises():
+    with pytest.raises(ServiceError):
+        run_sharded({"g": make_grid()}, [FlowQuery("other", 0, 1)])
