@@ -1,5 +1,40 @@
 """E2 (Theorem 2.1): dual distance labeling — Õ(D)-bit labels, Õ(D²)
-construction rounds."""
+construction rounds — plus the engine-vs-legacy construction backends
+(DESIGN.md §9).
+
+Two modes:
+
+* under pytest (part of the benchmark suite): times the label
+  construction and the label-size sweeps as before, and times the
+  engine backend against the legacy recursion on the shared instances,
+  asserting *bit-identical* labels inline;
+
+* as a script, the headline experiment of the labeling engine —
+
+      PYTHONPATH=src python benchmarks/bench_labeling.py \
+          [--rows 64] [--cols 64] [--seed 7] [--legacy-budget 300]
+
+  builds the Theorem 2.1 labeling on a rows x cols grid with the
+  engine backend, then races the legacy backend in a subprocess
+  against a wall-clock budget (the legacy build decodes child labels
+  through dict chains per bag — ~3 minutes at 64x64, hours beyond).
+  If the legacy run finishes, decoded distances on a shared sample of
+  face pairs are compared and the exact speedup is printed; on budget
+  expiry the speedup is reported as a lower bound, as in
+  ``bench_engine.py``.  Acceptance: >= 2x on the 64x64 grid.
+
+  Caveat (as for ``bench_engine.py``): instances much below ~12x12
+  under ``REPRO_ENGINE_NO_NUMPY=1`` are too small for the SPFA
+  fallback to amortize its setup, so the gate is only meaningful with
+  the vectorized kernels or at moderate sizes (the fallback clears
+  2x from ~20x20 up).
+"""
+
+import argparse
+import random
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -32,6 +67,34 @@ def test_labeling_construction(benchmark, instances, name):
     })
 
 
+@pytest.mark.parametrize("name", ["grid-small", "grid-large", "delaunay"])
+def test_labeling_engine_vs_legacy(benchmark, instances, name):
+    """Engine-backed construction: bit-identical labels, measured
+    against the legacy recursion on the same BDD."""
+    g = instances[name]
+    lengths = {d: g.weights[d >> 1] for d in g.darts()}
+    bdd = build_bdd(g, leaf_size=max(12, g.diameter()))
+    DualDistanceLabeling(bdd, lengths, backend="engine")  # warm compile
+
+    def run():
+        return DualDistanceLabeling(bdd, lengths, backend="engine")
+
+    eng = benchmark(run)
+
+    t0 = time.perf_counter()
+    DualDistanceLabeling(bdd, lengths, backend="engine")
+    engine_s = max(time.perf_counter() - t0, 1e-9)
+    t0 = time.perf_counter()
+    leg = DualDistanceLabeling(bdd, lengths)
+    legacy_s = time.perf_counter() - t0
+    assert eng._labels == leg._labels  # bit-identical, not just equal values
+    benchmark.extra_info.update({
+        "n": g.n, "D": g.diameter(),
+        "legacy_s": round(legacy_s, 4),
+        "speedup": round(legacy_s / engine_s, 1),
+    })
+
+
 @pytest.mark.parametrize("cols", [8, 14, 20])
 def test_label_bits_vs_diameter(benchmark, cols):
     """Label size sweep: bits should grow ~linearly with D, not with n."""
@@ -49,3 +112,125 @@ def test_label_bits_vs_diameter(benchmark, cols):
         "max_label_bits": lab.max_label_bits(),
         "label_bits_per_D": round(lab.max_label_bits() / d, 1),
     })
+
+
+# ----------------------------------------------------------------------
+# script mode
+# ----------------------------------------------------------------------
+def _make_instance(rows, cols, seed):
+    return randomize_weights(grid(rows, cols), seed=seed)
+
+
+def _lengths(g):
+    return {d: g.weights[d >> 1] for d in g.darts()}
+
+
+def _sample_pairs(g, seed, count=20):
+    rng = random.Random(seed)
+    nf = g.num_faces()
+    return [(rng.randrange(nf), rng.randrange(nf))
+            for _ in range(count)]
+
+
+def _legacy_worker(rows, cols, seed):
+    """Child process: legacy labeling build to completion, printing the
+    build time and the decoded distances of the shared sample (killed
+    by the parent on budget expiry)."""
+    g = _make_instance(rows, cols, seed)
+    bdd = build_bdd(g)
+    t0 = time.perf_counter()
+    lab = DualDistanceLabeling(bdd, _lengths(g))
+    secs = time.perf_counter() - t0
+    dists = [lab.distance(f, h) for f, h in _sample_pairs(g, seed)]
+    print(f"LEGACY {secs:.3f} " + " ".join(map(str, dists)), flush=True)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rows", type=int, default=64)
+    ap.add_argument("--cols", type=int, default=64)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--legacy-budget", type=float, default=300.0,
+                    help="wall-clock seconds granted to the legacy "
+                         "backend before reporting a lower bound")
+    ap.add_argument("--legacy-worker", action="store_true",
+                    help=argparse.SUPPRESS)
+    args = ap.parse_args(argv)
+
+    if args.legacy_worker:
+        _legacy_worker(args.rows, args.cols, args.seed)
+        return 0
+
+    g = _make_instance(args.rows, args.cols, args.seed)
+    lengths = _lengths(g)
+    print(f"instance: {args.rows}x{args.cols} grid, n={g.n}, m={g.m}, "
+          f"faces={g.num_faces()}")
+
+    t0 = time.perf_counter()
+    bdd = build_bdd(g)
+    print(f"bdd build      : {time.perf_counter() - t0:.2f}s "
+          f"(leaf_size={bdd.leaf_size}, bags={len(bdd.bags)}, shared "
+          f"by both backends)")
+
+    t0 = time.perf_counter()
+    eng = DualDistanceLabeling(bdd, lengths, backend="engine")
+    engine_cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    DualDistanceLabeling(bdd, lengths, backend="engine")
+    engine_s = max(time.perf_counter() - t0, 1e-9)
+    print(f"engine backend : cold {engine_cold_s:.2f}s (compiles the "
+          f"bag arrays), warm {engine_s:.2f}s (reuses them — the "
+          f"set_weights reprice cost)")
+
+    # inline parity gate on a small instance (bit-identical labels)
+    small = _make_instance(12, 12, args.seed)
+    small_bdd = build_bdd(small)
+    assert DualDistanceLabeling(small_bdd, _lengths(small),
+                                backend="engine")._labels == \
+        DualDistanceLabeling(small_bdd, _lengths(small))._labels, \
+        "engine labels are not bit-identical to legacy on 12x12"
+    print("parity (12x12) : labels bit-identical")
+
+    pairs = _sample_pairs(g, args.seed)
+    engine_dists = [eng.distance(f, h) for f, h in pairs]
+
+    cmd = [sys.executable, __file__, "--legacy-worker",
+           "--rows", str(args.rows), "--cols", str(args.cols),
+           "--seed", str(args.seed)]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=args.legacy_budget)
+        out = next((line for line in proc.stdout.splitlines()
+                    if line.startswith("LEGACY")), None)
+        if proc.returncode != 0 or out is None:
+            print(f"legacy backend : worker failed "
+                  f"(exit {proc.returncode})")
+            if proc.stderr:
+                print(proc.stderr.rstrip())
+            print("acceptance (>= 2x): FAIL (legacy worker died)")
+            return 1
+        fields = out.split()
+        legacy_s = float(fields[1])
+        legacy_dists = [int(x) if x.lstrip("-").isdigit() else float(x)
+                        for x in fields[2:]]
+        assert legacy_dists == engine_dists, \
+            "decoded distances diverge between backends"
+        speedup = legacy_s / engine_s
+        print(f"legacy backend : {legacy_s:.2f}s "
+              f"(sampled decodes match)")
+        print(f"speedup        : {speedup:.1f}x (exact)")
+    except subprocess.TimeoutExpired:
+        legacy_s = args.legacy_budget
+        speedup = legacy_s / engine_s
+        print(f"legacy backend : still running after the "
+              f"{args.legacy_budget:.0f}s budget (killed)")
+        print(f"speedup        : >= {speedup:.1f}x (lower bound; raise "
+              f"--legacy-budget for the exact ratio)")
+
+    ok = speedup >= 2.0
+    print(f"acceptance (>= 2x): {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,13 @@ Public API highlights:
 * :class:`repro.labeling.DualDistanceLabeling` — Theorem 2.1
 * :class:`repro.congest.RoundLedger` — audited CONGEST round counts
 * :mod:`repro.engine` — array/CSR execution backend
-  (``backend="engine"`` on every flow/cut/SSSP/girth entry point):
-  reusable :class:`~repro.engine.workspace.FlowWorkspace` Bellman–Ford
-  buffers for the flow family, and the Dijkstra / dart-simple-cycle
-  kernels (:mod:`repro.engine.dijkstra`, :mod:`repro.engine.cycles`)
-  for girth and global min-cut
+  (``backend="engine"`` on every flow/cut/SSSP/girth/labeling entry
+  point): reusable :class:`~repro.engine.workspace.FlowWorkspace`
+  Bellman–Ford buffers for the flow family, the Dijkstra /
+  dart-simple-cycle kernels (:mod:`repro.engine.dijkstra`,
+  :mod:`repro.engine.cycles`) for girth and global min-cut, and the
+  compiled bag arrays (:mod:`repro.engine.labels`) for the Theorem 2.1
+  label construction
 * :mod:`repro.service` — the query-serving layer:
   :class:`~repro.service.catalog.GraphCatalog` (named graphs + LRU
   artifact/result caches), typed flow/cut/girth/distance queries, and
@@ -41,7 +43,7 @@ from repro.engine import CompiledPlanarGraph, FlowWorkspace, compile_graph
 from repro.labeling import DualDistanceLabeling, PrimalDistanceLabeling
 from repro.planar import DualGraph, PlanarGraph
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "RoundLedger",

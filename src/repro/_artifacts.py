@@ -175,10 +175,17 @@ def shared_cache():
     """The process-wide :class:`ArtifactCache` of the engine layer.
 
     Holds the compiled CSR topologies (:func:`repro.engine.csr.
-    compile_graph`) and the girth cycle oracles (:class:`repro.
-    aggregation.dual_sim.DualMAHost`); a :class:`repro.service.catalog.
-    GraphCatalog` layers its own private cache on top for named-graph
-    artifacts and query results.
+    compile_graph`), the girth cycle oracles (:class:`repro.
+    aggregation.dual_sim.DualMAHost`) and the compiled labeling bag
+    arrays (:func:`repro.engine.labels.compile_labeling_bags` — keyed
+    by topology token so weight-only repricings reuse them); a
+    :class:`repro.service.catalog.GraphCatalog` layers its own private
+    cache on top for named-graph artifacts and query results.
+
+    Every entry's key carries the owning graph's topology token in
+    position 1 — that convention is what lets
+    :meth:`~repro.service.catalog.GraphCatalog.unregister` free all of
+    a graph's shared entries with one predicate sweep.
     """
     return _shared
 

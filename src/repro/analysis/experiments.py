@@ -242,6 +242,47 @@ def experiment_engine_kernels(girth_sizes=(6, 9, 12), mincut_ns=(14, 20)):
     return rows
 
 
+def experiment_labeling_engine(sizes=(8, 12, 16)):
+    """E12: the labeling serving economics (DESIGN.md §8–§9) —
+    cold Theorem 2.1 construction on both backends vs warm Lemma 2.2
+    decodes, wall-clock with bit-identical-label parity asserted
+    inline.  The engine column is the served miss cost; the warm
+    column is what every later DistanceQuery pays.
+    """
+    import random
+    import time
+
+    rows = []
+    for k in sizes:
+        g = randomize_weights(grid(k, k), seed=k)
+        lengths = {dart: g.weights[dart >> 1] for dart in g.darts()}
+        bdd = build_bdd(g, leaf_size=max(12, g.diameter()))
+        t0 = time.perf_counter()
+        leg = DualDistanceLabeling(bdd, lengths)
+        legacy_s = time.perf_counter() - t0
+        DualDistanceLabeling(bdd, lengths, backend="engine")  # compile
+        t0 = time.perf_counter()
+        eng = DualDistanceLabeling(bdd, lengths, backend="engine")
+        engine_s = max(time.perf_counter() - t0, 1e-9)
+        assert leg._labels == eng._labels  # bit-identical, enforced
+        rng = random.Random(k)
+        nf = g.num_faces()
+        pairs = [(rng.randrange(nf), rng.randrange(nf))
+                 for _ in range(400)]
+        t0 = time.perf_counter()
+        for f, h in pairs:
+            eng.distance(f, h)
+        warm_s = (time.perf_counter() - t0) / len(pairs)
+        rows.append(SeriesRow(
+            family="grid", n=g.n, d=g.diameter(), rounds=0,
+            extra={"legacy_s": round(legacy_s, 3),
+                   "engine_s": round(engine_s, 4),
+                   "build_speedup": round(legacy_s / engine_s, 1),
+                   "warm_us": round(warm_s * 1e6, 1),
+                   "cold/warm": round(engine_s / warm_s)}))
+    return rows
+
+
 def experiment_crossover(n=4096):
     """E10: round-model comparison — where does Õ(D²) beat D·√n [4] and
     (√n+D)·n^{o(1)} [16]?"""
@@ -274,6 +315,7 @@ def run_all(print_tables=True):
     out["E9-bdd"] = experiment_bdd_shape(sizes=(0, 1, 2, 3))
     out["E10-crossover"] = experiment_crossover()
     out["E11-engine-kernels"] = experiment_engine_kernels()
+    out["E12-labeling-engine"] = experiment_labeling_engine()
     if print_tables:
         for name, rows in out.items():
             if name == "E10-crossover":

@@ -24,7 +24,10 @@ class DualBag:
     bag: object
     #: face id -> sorted live darts (the node's darts)
     nodes: dict
-    #: darts d with both d and rev(d) live: arc face(d) -> face(rev d)
+    #: darts d with both d and rev(d) live: arc face(d) -> face(rev d).
+    #: Rev-closed by construction (d is listed iff rev(d) is), which is
+    #: the invariant :class:`repro.engine.labels.CompiledBagSlice`
+    #: stands on when it assigns local dart pairs ``(2i, 2i+1)``
     arc_darts: list
     #: separator-node set F_X (face ids); empty for leaves
     f_x: set

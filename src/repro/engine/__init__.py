@@ -27,7 +27,11 @@ Two kernel families run on the compiled arrays:
 * the nonnegative-weight Dijkstra / dart-simple-cycle kernels
   (:mod:`repro.engine.dijkstra`, :mod:`repro.engine.cycles`) for the
   girth and global-min-cut family (Theorems 1.5/1.7), including the
-  constrained best/second-best-distance driver of Section 7.
+  constrained best/second-best-distance driver of Section 7;
+* the labeling kernels (:mod:`repro.engine.labels`) for the Theorem 2.1
+  distance-label construction: compiled per-bag dual slices sharing the
+  Bellman–Ford workspaces, batched leaf APSP, and the int-indexed
+  Section 5.3 DDG relaxation — bit-identical labels, built on arrays.
 
 Select the engine per call with ``backend="engine"`` on
 :func:`repro.core.max_st_flow`, :func:`repro.core.min_st_cut`,
@@ -44,6 +48,12 @@ backend support matrix.
 from repro.engine.csr import CompiledPlanarGraph, compile_graph
 from repro.engine.cycles import DartCycleOracle, cycle_side_faces
 from repro.engine.dijkstra import DijkstraWorkspace, TwoBestDijkstra
+from repro.engine.labels import (
+    CompiledBagSlice,
+    CompiledLabelingBags,
+    build_dual_labels_engine,
+    compile_labeling_bags,
+)
 from repro.engine.workspace import FlowWorkspace, dijkstra_undirected
 
 __all__ = [
@@ -55,4 +65,8 @@ __all__ = [
     "TwoBestDijkstra",
     "DartCycleOracle",
     "cycle_side_faces",
+    "CompiledBagSlice",
+    "CompiledLabelingBags",
+    "compile_labeling_bags",
+    "build_dual_labels_engine",
 ]

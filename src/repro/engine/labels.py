@@ -1,0 +1,652 @@
+"""Engine-backed Theorem 2.1 label construction (DESIGN.md §9).
+
+The legacy labeling recursion (:mod:`repro.labeling.scheme`) is the
+round-audited CONGEST simulation: per bag it rebuilds dict-keyed dual
+arcs, runs hashable-node SPFA, and derives every child distance by
+*decoding* the child's label chain — faithful to the protocol, and by
+far the most expensive cold path left in the serving layer.  This
+module is its centralized fast path.  It produces **bit-identical
+labels** (the same :class:`~repro.labeling.labels.Label` chains, the
+same dict contents, the same :class:`~repro.errors.NegativeCycleError`
+messages and ``where`` sites) from three compiled ingredients:
+
+* :class:`CompiledBagSlice` — the dual of one bag as a CSR sub-array
+  sliced out of the global topology: local int node/dart ids (with the
+  ``rev(d) == d ^ 1`` pairing preserved, so the in-arc trick of
+  :class:`~repro.engine.workspace._VectorDualKernel` applies verbatim),
+  plus a per-slice :class:`~repro.engine.workspace.FlowWorkspace` whose
+  Bellman–Ford kernels run the per-bag shortest paths.  Leaf-bag APSP
+  is one :meth:`~repro.engine.workspace.FlowWorkspace.batched_sssp`
+  call with every bag node as a source.
+
+* :class:`CompiledInternalBag` — the Section 5.3 DDG of a non-leaf bag
+  with int-indexed ``F_X`` faces and ``(child, face)`` node-parts: the
+  dual ``S_X`` arcs, the zero links between parts of one face, and the
+  *slots* of the per-child cliques whose lengths are child distances.
+  Child distances are not decoded from labels: within child bag ``c``
+  the decoded distance *is* the distance in ``c``'s dual (Lemma 5.16),
+  so the builder runs one forward and one reverse batched SSSP over the
+  child's slice anchored at ``F_X ∩ c`` and reads the clique lengths
+  and every node-to-anchor distance straight out of the two matrices.
+
+* the DDG relaxation — per part over the assembled clique/S_X/zero
+  arcs: a pooled :class:`~repro.engine.dijkstra.DijkstraWorkspace`
+  (O(1) re-init via generation stamps) when every arc is nonnegative,
+  and an int-indexed SPFA with the legacy relaxation-count detection
+  when mixed signs force Bellman–Ford.
+
+Compilation is topology-only and cached in the process-wide artifact
+cache keyed by the graph's topology token (:func:`compile_labeling_
+bags`), so a ``set_weights`` reprice on a served graph rebuilds labels
+over the *same* bag arrays — only the per-dart lengths are reloaded.
+The per-slice workspaces live inside the compiled artifact, so the
+recursion over the BDD allocates nothing per bag in steady state.
+
+Negative-cycle parity (Lemma 5.19): bags are processed in the legacy
+order (levels deepest-first, bags in level order), every legacy raise
+site is replicated with the same message and ``where``, and the child
+SSSPs can never trip first — a negative cycle inside a child's dual
+would already have raised while that child was processed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro._artifacts import shared_cache, topo_token
+from repro._compat import np as _np
+from repro.engine.dijkstra import DijkstraWorkspace
+from repro.engine.workspace import FlowWorkspace, _as_scalar
+from repro.errors import DecompositionError, NegativeCycleError
+from repro.planar.graph import rev
+
+# Label / LabelEntry are imported lazily inside the builders:
+# repro.labeling imports repro.engine (for the SSSP fast path), so a
+# module-level import here would close an import cycle.
+
+INF = math.inf
+
+
+def _row_scalars(row):
+    """One distance row -> Python scalars with legacy types: ints where
+    integral (the common case, converted wholesale), ``math.inf`` where
+    unreached — the row-level form of
+    :func:`repro.engine.workspace._as_scalar`."""
+    if _np is not None and isinstance(row, _np.ndarray):
+        if _np.isfinite(row).all() and (row == _np.rint(row)).all():
+            return row.astype(_np.int64).tolist()
+        return [x if x == INF or x == -INF
+                else (int(x) if x.is_integer() else x)
+                for x in row.tolist()]
+    return [_as_scalar(x) for x in row]
+
+
+class CompiledBagSlice:
+    """The dual of one bag as flat local arrays + a reusable workspace.
+
+    Exposes exactly the attribute surface of
+    :class:`~repro.engine.csr.CompiledPlanarGraph` that
+    :class:`~repro.engine.workspace.FlowWorkspace` consumes
+    (``num_faces`` / ``num_darts`` / ``face_left`` / ``dual_indptr`` /
+    ``dual_arc_dart`` / ``dual_arc_head`` / ``slot_of_dart``), so the
+    flow kernels run on a bag slice unchanged.  Local dart ids keep the
+    ``rev`` pairing: global pair ``(d, d^1)`` maps to local ``(2i,
+    2i+1)``.  Faces with no dual arc in the slice get a padding
+    self-loop pair (global dart ``-1``, length forced to ``inf``) so
+    every CSR segment is nonempty — a ``reduceat`` precondition.
+    """
+
+    __slots__ = ("bag_id", "nodes", "index", "num_faces", "num_darts",
+                 "dart_global", "face_left", "dual_indptr",
+                 "dual_arc_dart", "dual_arc_head", "slot_of_dart",
+                 "_workspace", "_flat")
+
+    def __init__(self, dual, graph):
+        self.bag_id = dual.bag.bag_id
+        nodes = sorted(dual.nodes)
+        self.nodes = nodes
+        index = {f: i for i, f in enumerate(nodes)}
+        self.index = index
+        nf = len(nodes)
+        self.num_faces = nf
+
+        dart_global = []
+        face_left = []
+        for d in dual.arc_darts:
+            if d & 1:
+                continue  # the partner dart joins with its pair
+            dart_global.append(d)
+            dart_global.append(d ^ 1)
+            face_left.append(index[graph.face_of[d]])
+            face_left.append(index[graph.face_of[d ^ 1]])
+
+        counts = [0] * nf
+        for lf in face_left:
+            counts[lf] += 1
+        for fi in range(nf):
+            if counts[fi] == 0:
+                dart_global.extend((-1, -1))
+                face_left.extend((fi, fi))
+        nd = len(dart_global)
+        self.num_darts = nd
+        self.dart_global = dart_global
+        self.face_left = face_left
+
+        indptr = [0] * (nf + 1)
+        for lf in face_left:
+            indptr[lf + 1] += 1
+        for f in range(nf):
+            indptr[f + 1] += indptr[f]
+        fill = indptr[:nf]
+        arc_dart = [0] * nd
+        arc_head = [0] * nd
+        slot_of_dart = [0] * nd
+        for ld in range(nd):
+            lf = face_left[ld]
+            s = fill[lf]
+            fill[lf] = s + 1
+            arc_dart[s] = ld
+            arc_head[s] = face_left[ld ^ 1]
+            slot_of_dart[ld] = s
+        self.dual_indptr = indptr
+        self.dual_arc_dart = arc_dart
+        self.dual_arc_head = arc_head
+        self.slot_of_dart = slot_of_dart
+        self._workspace = None
+        self._flat = [INF] * nd
+
+    @property
+    def workspace(self):
+        """The slice's reusable :class:`FlowWorkspace` (built once)."""
+        if self._workspace is None:
+            self._workspace = FlowWorkspace(self)
+        return self._workspace
+
+    def load_lengths(self, lengths, reverse=False):
+        """Load per-global-dart ``lengths`` into the slice workspace.
+
+        With ``reverse=True`` the loaded graph is the slice's reverse:
+        the arc of local dart ``ld`` (same tail/head arrays) carries the
+        length of its partner's global dart, which is exactly the
+        reversed arc set because the slice contains both darts of every
+        pair.
+        """
+        dg = self.dart_global
+        flat = self._flat
+        if reverse:
+            for ld in range(len(dg)):
+                gd = dg[ld ^ 1]
+                flat[ld] = INF if gd < 0 else lengths[gd]
+        else:
+            for ld, gd in enumerate(dg):
+                flat[ld] = INF if gd < 0 else lengths[gd]
+        self.workspace.load_lengths(flat)
+
+    def batched_sssp(self, lengths, sources, reverse=False):
+        """Distance rows (matrix or list of rows, see
+        :meth:`FlowWorkspace.batched_sssp`) from local ``sources``."""
+        self.load_lengths(lengths, reverse=reverse)
+        return self.workspace.batched_sssp(sources)
+
+
+class _ChildRec:
+    """One child of an internal bag: its ``F_X`` anchors, int-indexed
+    three ways (face id, child-slice node, DDG part)."""
+
+    __slots__ = ("bag_id", "cf_faces", "cf_local", "cf_part",
+                 "fx_cf_pos")
+
+    def __init__(self, bag_id, cf_faces, cf_local, cf_part, fx_cf_pos):
+        self.bag_id = bag_id
+        self.cf_faces = cf_faces
+        self.cf_local = cf_local
+        self.cf_part = cf_part
+        #: j -> position of f_x[j] in cf_faces, or -1 when the face
+        #: does not live in this child (the "direct distance" test)
+        self.fx_cf_pos = fx_cf_pos
+
+
+class CompiledInternalBag:
+    """Int-indexed Section 5.3 structures of one non-leaf bag."""
+
+    __slots__ = ("bag_id", "f_x", "node_list", "owner_pos", "owner_idx",
+                 "children", "num_parts", "group_bounds", "sx_arcs",
+                 "zero_links")
+
+    def __init__(self, bag, dual, duals, compiled_slices, graph):
+        self.bag_id = bag.bag_id
+        f_x = sorted(dual.f_x)
+        self.f_x = f_x
+        fx_pos = {f: j for j, f in enumerate(f_x)}
+
+        dart_child = {}
+        for c in bag.children:
+            for d in c.live_darts:
+                dart_child[d] = c
+
+        # parts in legacy order (F_X-major, children in bag order), so
+        # every parts_of_face group is one contiguous index range
+        part_index = {}
+        group_bounds = []
+        for f in f_x:
+            start = len(part_index)
+            for c in bag.children:
+                if f in duals[c.bag_id].nodes:
+                    part_index[(c.bag_id, f)] = len(part_index)
+            group_bounds.append((start, len(part_index)))
+        self.num_parts = len(part_index)
+        self.group_bounds = group_bounds
+
+        children = []
+        for c in bag.children:
+            child_slice = compiled_slices[c.bag_id]
+            cf_faces = [f for f in f_x
+                        if f in duals[c.bag_id].nodes]
+            cf_local = [child_slice.index[f] for f in cf_faces]
+            cf_part = [part_index[(c.bag_id, f)] for f in cf_faces]
+            fx_cf_pos = [-1] * len(f_x)
+            for a, f in enumerate(cf_faces):
+                fx_cf_pos[fx_pos[f]] = a
+            children.append(_ChildRec(c.bag_id, cf_faces, cf_local,
+                                      cf_part, fx_cf_pos))
+        self.children = children
+
+        self.sx_arcs = []
+        for d in dual.sx_arc_darts:
+            p = part_index[(dart_child[d].bag_id, graph.face_of[d])]
+            q = part_index[(dart_child[rev(d)].bag_id,
+                            graph.face_of[rev(d)])]
+            self.sx_arcs.append((p, q, d))
+
+        self.zero_links = []
+        for (start, end) in group_bounds:
+            for p in range(start, end):
+                for q in range(start, end):
+                    if p != q:
+                        self.zero_links.append((p, q))
+
+        child_pos = {c.bag_id: i for i, c in enumerate(bag.children)}
+        node_list = sorted(dual.nodes)
+        self.node_list = node_list
+        #: per node: -1 = F_X face, -2 = no owning child (legacy
+        #: DecompositionError), else index into ``children``
+        owner_pos = []
+        owner_idx = []
+        for f in node_list:
+            if f in dual.f_x:
+                owner_pos.append(-1)
+                owner_idx.append(-1)
+                continue
+            c = dual.child_of_node[f]
+            if c is None:
+                owner_pos.append(-2)
+                owner_idx.append(-1)
+            else:
+                owner_pos.append(child_pos[c.bag_id])
+                owner_idx.append(
+                    compiled_slices[c.bag_id].index[f])
+        self.owner_pos = owner_pos
+        self.owner_idx = owner_idx
+
+
+class CompiledLabelingBags:
+    """Topology-only compilation of a BDD + dual bags for the engine
+    labeling builder: per-bag slices, per-internal-bag DDG arrays, the
+    legacy processing order, and one pooled DDG Dijkstra workspace."""
+
+    def __init__(self, bdd, duals=None):
+        if duals is None:
+            from repro.bdd.dual_bags import build_all_dual_bags
+
+            duals = build_all_dual_bags(bdd)
+        graph = bdd.graph
+        root_id = bdd.root.bag_id
+        self.slices = {}
+        for bag in bdd.bags:
+            if bag.bag_id == root_id and not bag.is_leaf:
+                continue  # the root is nobody's child and never a leaf
+            self.slices[bag.bag_id] = CompiledBagSlice(
+                duals[bag.bag_id], graph)
+        self.internal = {}
+        for bag in bdd.bags:
+            if not bag.is_leaf:
+                self.internal[bag.bag_id] = CompiledInternalBag(
+                    bag, duals[bag.bag_id], duals, self.slices, graph)
+        #: legacy processing order: (bag_id, is_leaf) by level,
+        #: deepest level first, bags in level order
+        self.levels = [[(b.bag_id, b.is_leaf) for b in level]
+                       for level in bdd.levels()]
+        self.max_parts = max(
+            (rec.num_parts for rec in self.internal.values()),
+            default=0)
+        self._ddg_ws = None
+
+    @property
+    def ddg_workspace(self):
+        """Pooled nonnegative-DDG Dijkstra workspace (built once,
+        O(1) re-init per bag via generation stamps)."""
+        if self._ddg_ws is None:
+            self._ddg_ws = DijkstraWorkspace(max(self.max_parts, 1))
+        return self._ddg_ws
+
+
+def compile_labeling_bags(bdd, duals=None):
+    """Compiled bag arrays for ``bdd``, cached in the process-wide
+    artifact cache under the graph's topology token.
+
+    The BDD construction is deterministic in ``(graph, leaf_size)``, so
+    a rebuild of the same decomposition (e.g. after a
+    ``GraphCatalog.set_weights`` reprice dropped the per-name BDD
+    artifact) hits the same compiled arrays — weight-only changes never
+    recompile the bags.
+    """
+    key = ("labels-bags", topo_token(bdd.graph), bdd.leaf_size,
+           len(bdd.bags), bdd.depth)
+    return shared_cache().get_or_build(
+        key, lambda: CompiledLabelingBags(bdd, duals))
+
+
+# ----------------------------------------------------------------------
+# builder
+# ----------------------------------------------------------------------
+def build_dual_labels_engine(labeling, compiled=None):
+    """Fill ``labeling._labels`` with bit-identical Theorem 2.1 labels
+    using the compiled bag arrays (see the module docstring)."""
+    if compiled is None:
+        compiled = compile_labeling_bags(labeling.bdd, labeling.duals)
+    lengths = labeling.lengths
+    labels = labeling._labels
+    for level in compiled.levels:
+        for bag_id, is_leaf in level:
+            if is_leaf:
+                _label_leaf(compiled, bag_id, lengths, labels)
+            else:
+                _label_internal(compiled, bag_id, lengths, labels)
+    return labels
+
+
+def _label_leaf(compiled, bag_id, lengths, labels):
+    """Leaf bag: whole-bag APSP in one batched Bellman–Ford call."""
+    from repro.labeling.labels import Label, LabelEntry
+
+    sl = compiled.slices[bag_id]
+    nodes = sl.nodes
+    k = len(nodes)
+    if k == 0:
+        return
+    try:
+        rows = sl.batched_sssp(lengths, range(k))
+    except NegativeCycleError:
+        raise NegativeCycleError(
+            f"negative cycle in leaf bag {bag_id}",
+            where=("leaf", bag_id))
+    # rows[v][h] = dist(nodes[v] -> nodes[h]); dist_from is the
+    # transpose read of the same matrix
+    scal = [_row_scalars(row) for row in rows]
+    for vi, v in enumerate(nodes):
+        row = scal[vi]
+        entry = LabelEntry(
+            bag_id=bag_id, node=v, is_leaf=True,
+            dist_to={h: row[hi] for hi, h in enumerate(nodes)},
+            dist_from={h: scal[hi][vi] for hi, h in enumerate(nodes)})
+        labels[(bag_id, v)] = Label(node=v, entries=[entry])
+
+
+def _ddg_distances(compiled, rec, arcs, has_negative):
+    """All-parts distance matrix over the assembled DDG arcs.
+
+    Nonnegative arcs run on the pooled Dijkstra workspace; mixed signs
+    fall back to int-indexed SPFA with the legacy relaxation-count
+    negative-cycle detection (limit ``P + 1``, as in
+    :func:`repro.labeling.scheme._spfa`).
+    """
+    p_count = rec.num_parts
+    if p_count == 0:
+        return []
+    if not has_negative:
+        ws = compiled.ddg_workspace
+        ws.load_arcs([(i, t, h, ln) for i, (t, h, ln) in enumerate(arcs)
+                      if ln < INF])
+        ddg = []
+        for p in range(p_count):
+            ws.sssp(p)
+            ddg.append([ws.distance(q) for q in range(p_count)])
+        return ddg
+
+    adj = [[] for _ in range(p_count)]
+    for (t, h, ln) in arcs:
+        if ln < INF:
+            adj[t].append((h, ln))
+    limit = p_count + 1
+    ddg = []
+    for p in range(p_count):
+        dist = [INF] * p_count
+        cnt = [0] * p_count
+        inq = bytearray(p_count)
+        dist[p] = 0
+        inq[p] = 1
+        q = deque([p])
+        while q:
+            u = q.popleft()
+            inq[u] = 0
+            du = dist[u]
+            for (h, ln) in adj[u]:
+                nd = du + ln
+                if nd < dist[h]:
+                    dist[h] = nd
+                    cnt[h] += 1
+                    if cnt[h] > limit:
+                        raise NegativeCycleError(
+                            f"negative cycle crossing F_X of bag "
+                            f"{rec.bag_id}", where=("ddg", rec.bag_id))
+                    if not inq[h]:
+                        inq[h] = 1
+                        q.append(h)
+        ddg.append(dist)
+    return ddg
+
+
+def _group_min(row, bounds):
+    """min over one contiguous part group of a distance row."""
+    start, end = bounds
+    best = INF
+    for q in range(start, end):
+        if row[q] < best:
+            best = row[q]
+    return best
+
+
+def _label_internal(compiled, bag_id, lengths, labels):
+    from repro.labeling.labels import Label, LabelEntry
+
+    rec = compiled.internal[bag_id]
+    f_x = rec.f_x
+    nfx = len(f_x)
+
+    # ---- child anchored SSSPs (forward + reverse per child) ----------
+    fwd = []     # fwd[ci][a][node] = d_c(cf[a] -> node)
+    back = []    # back[ci][a][node] = d_c(node -> cf[a])
+    for child in rec.children:
+        sl = compiled.slices[child.bag_id]
+        if child.cf_local:
+            fwd.append(sl.batched_sssp(lengths, child.cf_local))
+            back.append(sl.batched_sssp(lengths, child.cf_local,
+                                        reverse=True))
+        else:
+            fwd.append(None)
+            back.append(None)
+
+    # ---- assemble the DDG arcs ---------------------------------------
+    arcs = []
+    has_negative = False
+    for ci, child in enumerate(rec.children):
+        f_rows = fwd[ci]
+        if f_rows is None:
+            continue
+        cf_local = child.cf_local
+        cf_part = child.cf_part
+        for a1 in range(len(cf_local)):
+            row = f_rows[a1]
+            p = cf_part[a1]
+            for a2 in range(len(cf_local)):
+                if a1 == a2:
+                    continue
+                dd = row[cf_local[a2]]
+                if dd < INF:
+                    arcs.append((p, cf_part[a2], dd))
+                    if dd < 0:
+                        has_negative = True
+    for (p, q, d) in rec.sx_arcs:
+        ln = lengths[d]
+        arcs.append((p, q, ln))
+        if ln < 0:
+            has_negative = True
+    for (p, q) in rec.zero_links:
+        arcs.append((p, q, 0))
+
+    ddg = _ddg_distances(compiled, rec, arcs, has_negative)
+
+    # ---- F_X face-to-face distances + negative-cycle face check ------
+    bounds = rec.group_bounds
+    fd = [[INF] * nfx for _ in range(nfx)]
+    self_dist = [INF] * nfx
+    for i in range(nfx):
+        si, ei = bounds[i]
+        for j in range(nfx):
+            best = INF
+            for p in range(si, ei):
+                b = _group_min(ddg[p], bounds[j])
+                if b < best:
+                    best = b
+            if i == j:
+                self_dist[i] = best
+                fd[i][j] = 0
+            else:
+                fd[i][j] = best
+    for j, f in enumerate(f_x):
+        if self_dist[j] < 0:
+            raise NegativeCycleError(
+                f"negative cycle through F_X node {f} of bag "
+                f"{bag_id}", where=("ddg", bag_id))
+
+    # ---- F_X labels --------------------------------------------------
+    for j, f in enumerate(f_x):
+        entry = LabelEntry(
+            bag_id=bag_id, node=f, is_leaf=False,
+            dist_to={h: _as_scalar(fd[j][jh])
+                     for jh, h in enumerate(f_x)},
+            dist_from={h: _as_scalar(fd[jh][j])
+                       for jh, h in enumerate(f_x)})
+        labels[(bag_id, f)] = Label(node=f, entries=[entry])
+
+    # ---- per-child node-to-F_X distance matrices ---------------------
+    if _np is not None and rec.num_parts:
+        ddg_np = _np.asarray(ddg, dtype=_np.float64)
+    else:
+        ddg_np = None
+    d_out_c = []
+    d_in_c = []
+    viol_c = []
+    for ci, child in enumerate(rec.children):
+        if fwd[ci] is None:
+            d_out_c.append(None)
+            d_in_c.append(None)
+            viol_c.append(None)
+            continue
+        ncf = len(child.cf_local)
+        # m_out[a][j] = min_{q in parts(f_x[j])} ddg[part(cf[a])][q]
+        # m_in[a][j]  = min_{q in parts(f_x[j])} ddg[q][part(cf[a])]
+        m_out = [[INF] * nfx for _ in range(ncf)]
+        m_in = [[INF] * nfx for _ in range(ncf)]
+        for a in range(ncf):
+            p = child.cf_part[a]
+            row = ddg[p]
+            for j in range(nfx):
+                m_out[a][j] = _group_min(row, bounds[j])
+                sj, ej = bounds[j]
+                best = INF
+                for q in range(sj, ej):
+                    if ddg[q][p] < best:
+                        best = ddg[q][p]
+                m_in[a][j] = best
+        if ddg_np is not None:
+            x_out = _np.asarray(back[ci]).T    # node x a: d_c(node->cf[a])
+            x_in = _np.asarray(fwd[ci]).T      # node x a: d_c(cf[a]->node)
+            mo = _np.asarray(m_out)
+            mi = _np.asarray(m_in)
+            n_c = x_out.shape[0]
+            do = _np.empty((n_c, nfx), dtype=_np.float64)
+            di = _np.empty((n_c, nfx), dtype=_np.float64)
+            for j in range(nfx):
+                do[:, j] = (x_out + mo[:, j]).min(axis=1)
+                di[:, j] = (x_in + mi[:, j]).min(axis=1)
+                a = child.fx_cf_pos[j]
+                if a >= 0:  # f_x[j] lives in this child: direct distance
+                    _np.minimum(do[:, j], x_out[:, a], out=do[:, j])
+                    _np.minimum(di[:, j], x_in[:, a], out=di[:, j])
+            viol = ((do + di) < 0).any(axis=1)
+        else:
+            n_c = len(compiled.slices[child.bag_id].nodes)
+            do = [[INF] * nfx for _ in range(n_c)]
+            di = [[INF] * nfx for _ in range(n_c)]
+            viol = [False] * n_c
+            f_rows = fwd[ci]
+            b_rows = back[ci]
+            for node in range(n_c):
+                row_o = do[node]
+                row_i = di[node]
+                for j in range(nfx):
+                    best_o = INF
+                    best_i = INF
+                    for a in range(ncf):
+                        cand = b_rows[a][node] + m_out[a][j]
+                        if cand < best_o:
+                            best_o = cand
+                        cand = f_rows[a][node] + m_in[a][j]
+                        if cand < best_i:
+                            best_i = cand
+                    a = child.fx_cf_pos[j]
+                    if a >= 0:
+                        if b_rows[a][node] < best_o:
+                            best_o = b_rows[a][node]
+                        if f_rows[a][node] < best_i:
+                            best_i = f_rows[a][node]
+                    row_o[j] = best_o
+                    row_i[j] = best_i
+                    if best_o + best_i < 0:
+                        viol[node] = True
+        d_out_c.append(do)
+        d_in_c.append(di)
+        viol_c.append(viol)
+
+    # ---- node labels in legacy (sorted) order ------------------------
+    for ni, f in enumerate(rec.node_list):
+        pos = rec.owner_pos[ni]
+        if pos == -1:
+            continue  # F_X faces already labeled above
+        if pos == -2:
+            raise DecompositionError(
+                f"node {f} of bag {bag_id} has no owning child")
+        child = rec.children[pos]
+        r = rec.owner_idx[ni]
+        do = d_out_c[pos]
+        if do is None:
+            # no F_X face lives in this child: all distances stay inf
+            d_to = {h: INF for h in f_x}
+            d_from = {h: INF for h in f_x}
+        else:
+            if viol_c[pos][r]:
+                raise NegativeCycleError(
+                    f"negative cycle through node {f} of bag "
+                    f"{bag_id}", where=("node", bag_id))
+            di = d_in_c[pos]
+            row_o = _row_scalars(do[r])
+            row_i = _row_scalars(di[r])
+            d_to = dict(zip(f_x, row_o))
+            d_from = dict(zip(f_x, row_i))
+        entry = LabelEntry(bag_id=bag_id, node=f, is_leaf=False,
+                           dist_to=d_to, dist_from=d_from)
+        child_label = labels[(child.bag_id, f)]
+        labels[(bag_id, f)] = Label(
+            node=f, entries=[entry] + child_label.entries)

@@ -182,6 +182,46 @@ class _VectorDualKernel:
             raise NegativeCycleError(where="engine-sssp")
         return dist
 
+    def multi_sssp(self, sources):
+        """Synchronous Bellman–Ford from many sources at once: one
+        distance row per source, all rows relaxed in whole-*matrix*
+        passes (the batched form of :meth:`sssp`, used by the labeling
+        kernels of :mod:`repro.engine.labels` where every bag needs a
+        whole anchor set's distances).
+
+        Simple paths have at most ``nf - 1`` arcs, so an improving pass
+        beyond ``nf`` proves a walk strictly better than every simple
+        path — a negative cycle reachable from one of the sources.
+
+        Rows are independent single-source relaxations (they never read
+        each other), so a row with no improvement in a pass has reached
+        its fixpoint: converged rows leave the active set and later
+        passes touch only the rows still shrinking, which caps the work
+        at Σ_r hops(r) instead of |sources| · max_r hops(r).
+        """
+        np = _np
+        k = len(sources)
+        dist = np.full((k, self.nf), np.inf, dtype=np.float64)
+        dist[np.arange(k), np.asarray(sources, dtype=np.int64)] = 0.0
+        starts = self.starts
+        in_tail = self.in_tail
+        len_in = self.len_in
+        active = np.arange(k)
+        passes = 0
+        while len(active):
+            sub = dist[active]
+            cand = sub[:, in_tail] + len_in
+            seg = np.minimum.reduceat(cand, starts, axis=1)
+            improved = (seg < sub).any(axis=1)
+            if not improved.any():
+                break
+            active = active[improved]
+            dist[active] = np.minimum(sub[improved], seg[improved])
+            passes += 1
+            if passes > self.nf:
+                raise NegativeCycleError(where="engine-sssp")
+        return dist
+
     def tight_parents(self, dist):
         """One tight in-arc dart per face under ``dist`` (-1 where none:
         the source and unreached faces)."""
@@ -320,6 +360,22 @@ class FlowWorkspace:
                 self.parent_dart[:] = [int(x) for x in pd]
             return self.dist
         return self._spfa_sssp(source, track_parents)
+
+    def batched_sssp(self, sources):
+        """Distance rows from every face in ``sources`` under the
+        current lengths — the batched form of :meth:`sssp`.
+
+        Returns a ``len(sources) x num_faces`` float64 matrix on the
+        vectorized path, or a list of per-source Python rows on the
+        SPFA fallback; either way the rows are fresh (not aliased to
+        the reusable ``dist`` buffer), so callers may keep them across
+        later kernel calls.  Raises :class:`NegativeCycleError` when a
+        negative cycle is reachable from any source.
+        """
+        self.sssp_runs += len(sources)
+        if self._vec is not None:
+            return self._vec.multi_sssp(sources)
+        return [list(self._spfa_sssp(s, False)) for s in sources]
 
     # ------------------------------------------------------------------
     # pure-Python fallbacks (numpy-free environments)

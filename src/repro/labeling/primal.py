@@ -76,10 +76,21 @@ class PrimalDistanceLabeling:
 
     ``lengths``: dict dart -> nonnegative length of traversing the dart
     (directed); defaults to the edge weight in both directions.
+
+    ``backend="engine"`` runs the same per-bag Dijkstras on one pooled
+    :class:`~repro.engine.dijkstra.DijkstraWorkspace` (generation-stamp
+    re-init, buffers shared across every bag and source) instead of
+    dict-keyed heaps; labels are bit-identical.  Rounds are only
+    charged on the legacy backend.
     """
 
+    BACKENDS = ("legacy", "engine")
+
     def __init__(self, graph, lengths=None, bdd=None, leaf_size=None,
-                 ledger=None):
+                 ledger=None, backend="legacy"):
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {self.BACKENDS}")
         self.graph = graph
         if lengths is None:
             lengths = {}
@@ -90,7 +101,12 @@ class PrimalDistanceLabeling:
         self.bdd = bdd if bdd is not None else build_bdd(
             graph, leaf_size=leaf_size, ledger=ledger)
         self.ledger = ledger
+        self.backend = backend
         self._labels = {}
+        if backend == "engine":
+            from repro.engine.dijkstra import DijkstraWorkspace
+
+            self._ws = DijkstraWorkspace(graph.n)
         self._compute()
 
     def label(self, v):
@@ -105,7 +121,8 @@ class PrimalDistanceLabeling:
             cost = 0
             for bag in level_bags:
                 cost = max(cost, self._label_bag(bag))
-            if self.ledger is not None and level_bags:
+            if self.ledger is not None and level_bags \
+                    and self.backend == "legacy":
                 lvl = level_bags[0].level
                 self.ledger.charge(2 * cost,
                                    f"primal-labeling/level{lvl}",
@@ -146,11 +163,40 @@ class PrimalDistanceLabeling:
                     heapq.heappush(heap, (nd, w))
         return dist
 
+    def _bag_sssp(self, view, sources, reverse=False):
+        """dict source -> dist dict over the bag's vertices, on the
+        selected backend: per-source dict Dijkstra (legacy) or the one
+        pooled array workspace, arcs loaded once per direction
+        (engine).  Distances are canonical, so labels built from either
+        are bit-identical."""
+        if self.backend != "engine":
+            return {u: self._dijkstra(view, u, reverse=reverse)
+                    for u in sources}
+        ws = self._ws
+        lengths = self.lengths
+        arcs = []
+        for u in view.vertices:
+            for dart in view.out_darts(u):
+                ln = lengths[rev(dart)] if reverse else lengths[dart]
+                arcs.append((dart, u, view.head(dart), ln))
+        ws.load_arcs(arcs)
+        out = {}
+        verts = view.vertices
+        for u in sources:
+            ws.sssp(u)
+            row = {}
+            for v in verts:
+                d = ws.distance(v)
+                if d < INF:
+                    row[v] = d
+            out[u] = row
+        return out
+
     def _label_bag(self, bag):
         view = bag.view()
         verts = sorted(view.vertices)
         if bag.is_leaf:
-            fwd = {v: self._dijkstra(view, v) for v in verts}
+            fwd = self._bag_sssp(view, verts)
             for v in verts:
                 entry = PrimalLabelEntry(
                     bag_id=bag.bag_id, vertex=v, is_leaf=True,
@@ -165,8 +211,8 @@ class PrimalDistanceLabeling:
         # distances inside the bag between every vertex and the anchor
         # set: two Dijkstras per anchor (forward + reverse), exactly the
         # information the broadcast step of [27] ships
-        fwd = {u: self._dijkstra(view, u) for u in sep}
-        back = {u: self._dijkstra(view, u, reverse=True) for u in sep}
+        fwd = self._bag_sssp(view, sep)
+        back = self._bag_sssp(view, sep, reverse=True)
         words = 0
         for v in verts:
             entry = PrimalLabelEntry(

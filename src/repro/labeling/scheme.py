@@ -21,6 +21,12 @@ serving layer caches one instance per graph weight fingerprint and
 routes every :class:`~repro.service.queries.DistanceQuery` through
 :meth:`DualDistanceLabeling.distance` — see
 :mod:`repro.service` and DESIGN.md §8 for the amortization economics.
+
+Construction has two backends: the legacy recursion below (the
+round-audited reference) and ``backend="engine"``
+(:mod:`repro.engine.labels`, DESIGN.md §9), which builds bit-identical
+labels on compiled per-bag arrays and is what the serving layer uses
+for cold :class:`~repro.service.queries.DistanceQuery` misses.
 """
 
 from __future__ import annotations
@@ -78,19 +84,41 @@ class DualDistanceLabeling:
         Optional precomputed dual bags (reused across the Miller-Naor
         binary search, whose topology never changes).
     ledger:
-        Optional :class:`repro.congest.rounds.RoundLedger`.
+        Optional :class:`repro.congest.rounds.RoundLedger`.  Rounds are
+        only charged on the legacy backend — the engine is a
+        centralized fast path, so CONGEST accounting on it would be
+        meaningless (same contract as
+        :class:`repro.core.maxflow.PlanarMaxFlow`).
+    backend:
+        ``"legacy"`` (default) — the round-audited Algorithm 2
+        simulation above; ``"engine"`` — the compiled-array builder of
+        :mod:`repro.engine.labels`, which produces bit-identical labels
+        (including :class:`NegativeCycleError` sites) from cached
+        per-bag CSR slices and batched Bellman–Ford kernels.
     """
 
-    def __init__(self, bdd, lengths, duals=None, ledger=None):
+    BACKENDS = ("legacy", "engine")
+
+    def __init__(self, bdd, lengths, duals=None, ledger=None,
+                 backend="legacy"):
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; "
+                             f"expected one of {self.BACKENDS}")
         self.bdd = bdd
         self.graph = bdd.graph
         self.lengths = lengths
         self.duals = duals if duals is not None else build_all_dual_bags(bdd)
         self.ledger = ledger
+        self.backend = backend
         #: (bag_id, face) -> Label (in that bag's dual)
         self._labels = {}
         self._decode_cache = {}
-        self._compute()
+        if backend == "engine":
+            from repro.engine.labels import build_dual_labels_engine
+
+            build_dual_labels_engine(self)
+        else:
+            self._compute()
 
     # ------------------------------------------------------------------
     def label(self, face, bag=None):

@@ -160,13 +160,21 @@ class CatalogEntry:
 
         return self.catalog.artifacts.get_or_build(key, build)
 
-    def labeling(self, leaf_size=None):
+    def labeling(self, leaf_size=None, backend="engine"):
         """The dual distance labeling under :func:`default_dual_lengths`
         (Theorem 2.1) — build once, then every
         :class:`~repro.service.queries.DistanceQuery` decodes from the
-        cached labels in label-size time (Lemma 2.2)."""
+        cached labels in label-size time (Lemma 2.2).
+
+        ``backend`` selects the construction path (the labels are
+        bit-identical either way): ``"engine"`` (default) builds on the
+        compiled bag arrays of :mod:`repro.engine.labels`, which live
+        in the engine's *shared* cache keyed by topology token — so a
+        :meth:`GraphCatalog.set_weights` reprice drops this labeling
+        artifact but reuses the bag compilation for the rebuild.
+        """
         fp = self.fingerprint()
-        key = ("labeling", self.name, fp.weights, leaf_size)
+        key = ("labeling", self.name, fp.weights, leaf_size, backend)
 
         def build():
             from repro.bdd import build_all_dual_bags
@@ -178,7 +186,7 @@ class CatalogEntry:
                 duals_key, lambda: build_all_dual_bags(bdd))
             return DualDistanceLabeling(bdd,
                                         default_dual_lengths(self.graph),
-                                        duals=duals)
+                                        duals=duals, backend=backend)
 
         return self.catalog.artifacts.get_or_build(key, build)
 

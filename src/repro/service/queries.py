@@ -12,9 +12,11 @@ the parameters of one theorem entry point:
 
 Execution goes through one :class:`QueryPlanner` that resolves each
 query to a backend (``legacy`` — the round-audited reference, or
-``engine`` — the compiled-array fast path; distance queries always
-decode from labels), then :func:`execute_query` dispatches with every
-level of amortization the catalog offers:
+``engine`` — the compiled-array fast path; for a distance query the
+backend selects how the cold Theorem 2.1 labeling build runs — the
+warm path always decodes from the cached labels), then
+:func:`execute_query` dispatches with every level of amortization the
+catalog offers:
 
 1. **result memoization** — the resolved ``(query, backend)`` pair plus
    the graph's current weight/capacity fingerprint keys a result cache,
@@ -87,14 +89,18 @@ class DistanceQuery:
     """dist_{G*}(f → g) under :func:`~repro.service.catalog.
     default_dual_lengths`, decoded from the cached labels (Lemma 2.2).
 
-    There is no backend choice: the label decode *is* the warm path the
-    labeling scheme exists for — the cold cost is one Theorem 2.1
-    construction, cached per weight fingerprint.
+    The warm path is always the label decode — that is what the
+    labeling scheme exists for.  ``backend`` selects how the *cold*
+    Theorem 2.1 construction runs on a miss (and after a
+    ``set_weights`` reprice): the compiled-array builder of
+    :mod:`repro.engine.labels` or the round-audited legacy recursion,
+    resolved by the planner exactly like every other query type.
     """
 
     graph: str
     f: int
     g: int
+    backend: str = "auto"
     leaf_size: int | None = None
 
 
@@ -103,7 +109,8 @@ class QueryResult:
     """Envelope for one served query."""
 
     query: object
-    #: resolved backend ("legacy" / "engine" / "labels")
+    #: resolved backend ("legacy" / "engine"; for a DistanceQuery this
+    #: is the backend the cold labeling build runs on)
     backend: str
     #: the underlying result object (MaxFlowResult, MinCutResult,
     #: GirthResult or None, or a plain distance number).  Shared with
@@ -118,12 +125,17 @@ class QueryResult:
 class QueryPlanner:
     """Resolves each query to an execution backend.
 
-    ``auto`` routes flow/cut/girth queries to the engine once the graph
-    has at least ``engine_min_n`` vertices (default 0: always engine —
-    the engine is output-identical and strictly faster; the legacy
-    backend exists for round audits, which a serving path does not
-    produce).  An explicit ``backend=`` on the query always wins, so
-    callers can pin the reference path per query.
+    ``auto`` routes queries to the engine once the graph has at least
+    ``engine_min_n`` vertices (default 0: always engine — it is
+    output-identical, and the legacy backend exists for round audits,
+    which a serving path does not produce).  The engine wins by growing
+    factors as instances grow; on very small graphs its setup overhead
+    can lose to legacy (e.g. the labeling build at n ≲ 100, see
+    EXPERIMENTS.md E12), which is exactly what ``engine_min_n`` is for.
+    The rule is uniform across *every* query type — flow, cut, girth,
+    and the cold labeling build behind a :class:`DistanceQuery` — and
+    an explicit ``backend=`` on the query always wins, so callers can
+    pin the reference path per query.
     """
 
     def __init__(self, default_backend="engine", engine_min_n=0):
@@ -135,8 +147,6 @@ class QueryPlanner:
 
     def plan(self, query, graph):
         """The backend ``query`` runs on against ``graph``."""
-        if isinstance(query, DistanceQuery):
-            return "labels"
         backend = query.backend
         if backend not in QUERY_BACKENDS:
             raise ServiceError(f"unknown backend {backend!r}; expected "
@@ -204,7 +214,8 @@ def _dispatch(entry, query, backend):
                               backend=backend)
 
     if isinstance(query, DistanceQuery):
-        labeling = entry.labeling(leaf_size=query.leaf_size)
+        labeling = entry.labeling(leaf_size=query.leaf_size,
+                                  backend=backend)
         return labeling.distance(query.f, query.g)
 
     raise ServiceError(f"unknown query type {type(query).__name__}")

@@ -295,8 +295,23 @@ class TestDistanceQuery:
         lab = DualDistanceLabeling(build_bdd(g), default_dual_lengths(g))
         for f, h in [(0, 1), (2, 5), (5, 2), (3, 3)]:
             got = cat.serve(DistanceQuery("g", f, h))
-            assert got.backend == "labels"
+            assert got.backend == "engine"
             assert got.result == lab.distance(f, h)
+
+    def test_distance_backends_bit_identical(self):
+        g = make_grid()
+        cat = GraphCatalog()
+        cat.register("g", g)
+        nf = g.num_faces()
+        for f in range(nf):
+            for h in range(nf):
+                eng = cat.serve(DistanceQuery("g", f, h,
+                                              backend="engine"))
+                leg = cat.serve(DistanceQuery("g", f, h,
+                                              backend="legacy"))
+                assert eng.backend == "engine"
+                assert leg.backend == "legacy"
+                assert eng.result == leg.result
 
     def test_labeling_built_once(self):
         g = make_grid()
@@ -359,15 +374,35 @@ class TestPlanner:
         q = FlowQuery("g", 0, 1, backend="engine")
         assert planner.plan(q, g) == "engine"
 
-    def test_distance_always_labels(self):
+    def test_engine_min_n_uniform_across_query_types(self):
+        """Regression: the threshold must gate *every* query type the
+        same way — including the cold labeling build behind a
+        DistanceQuery (it used to be special-cased as "labels")."""
         g = make_grid()
-        assert QueryPlanner().plan(DistanceQuery("g", 0, 1), g) \
-            == "labels"
+        queries = [FlowQuery("g", 0, 1), CutQuery("g", 0, 1),
+                   GirthQuery("g"), DistanceQuery("g", 0, 1)]
+        below = QueryPlanner(engine_min_n=g.n + 1)
+        above = QueryPlanner(engine_min_n=g.n)
+        for q in queries:
+            assert below.plan(q, g) == "legacy", type(q).__name__
+            assert above.plan(q, g) == "engine", type(q).__name__
+
+    def test_explicit_backend_wins_for_distance(self):
+        g = make_grid()
+        planner = QueryPlanner(engine_min_n=10 ** 9)
+        q = DistanceQuery("g", 0, 1, backend="engine")
+        assert planner.plan(q, g) == "engine"
+        planner = QueryPlanner(engine_min_n=0)
+        q = DistanceQuery("g", 0, 1, backend="legacy")
+        assert planner.plan(q, g) == "legacy"
 
     def test_bad_backend_rejected(self):
         g = make_grid()
         with pytest.raises(ServiceError):
             QueryPlanner().plan(FlowQuery("g", 0, 1, backend="vroom"), g)
+        with pytest.raises(ServiceError):
+            QueryPlanner().plan(DistanceQuery("g", 0, 1,
+                                              backend="vroom"), g)
         with pytest.raises(ServiceError):
             QueryPlanner(default_backend="vroom")
 
