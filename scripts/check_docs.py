@@ -27,6 +27,7 @@ PUBLIC_MODULES = [
     "repro.planar",
     "repro.engine",
     "repro.service",
+    "repro.server",
     "repro.congest",
     "repro.aggregation",
     "repro.shortcuts",

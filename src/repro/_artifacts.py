@@ -152,6 +152,12 @@ class ArtifactCache:
     def keys(self):
         return list(self._entries.keys())
 
+    def items(self):
+        """Snapshot of the ``(key, value)`` pairs, LRU-oldest first —
+        read-only iteration that touches neither the counters nor the
+        recency order (used by the catalog snapshot hooks)."""
+        return list(self._entries.items())
+
     def stats(self):
         """Snapshot: size, maxsize and the cumulative counters."""
         return {"size": len(self._entries), "maxsize": self.maxsize,

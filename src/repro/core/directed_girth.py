@@ -45,21 +45,44 @@ class DirectedGirthResult:
 
 
 def directed_weighted_girth(graph, leaf_size=None, ledger=None,
-                            backend="legacy"):
+                            backend="legacy", labeling_backend=None):
     """Minimum weight of a directed cycle, or None if the graph is a
     DAG.  Edge directions follow the stored orientation; weights must
-    be nonnegative."""
+    be nonnegative.
+
+    ``labeling_backend`` selects how the labeling route builds its
+    :class:`~repro.labeling.primal.PrimalDistanceLabeling`:
+    ``"engine"`` runs the per-bag Dijkstras on the pooled array
+    workspace of DESIGN.md §9 (labels — and hence the girth value and
+    witness — bit-identical), ``"legacy"``/None keeps the dict-keyed
+    reference.  It only applies to ``backend="legacy"`` (the [36]
+    comparator's per-source phase is already engine-backed under
+    ``backend="engine"``); the labeling substrate charges rounds on the
+    legacy labeling only, so the aggregation charge below follows suit
+    — an engine-labeled run audits only the (backend-independent) BDD
+    construction.
+    """
     if backend not in BACKENDS:
         raise ValueError(f"unknown backend {backend!r}; "
                          f"expected one of {BACKENDS}")
+    if labeling_backend not in (None,) + BACKENDS:
+        raise ValueError(f"unknown labeling backend "
+                         f"{labeling_backend!r}; expected None or one "
+                         f"of {BACKENDS}")
     if backend == "engine":
+        if labeling_backend is not None:
+            raise ValueError("labeling_backend applies to the legacy "
+                             "(labeling) route only; backend='engine' "
+                             "does not build a labeling")
         return _directed_girth_engine(graph)
+    labeling_backend = labeling_backend or "legacy"
     lengths = {}
     for eid in range(graph.m):
         lengths[2 * eid] = graph.weights[eid]
         lengths[2 * eid + 1] = math.inf   # darts only along direction
     lab = PrimalDistanceLabeling(graph, lengths=lengths,
-                                 leaf_size=leaf_size, ledger=ledger)
+                                 leaf_size=leaf_size, ledger=ledger,
+                                 backend=labeling_backend)
 
     best = math.inf
     witness = -1
@@ -69,7 +92,7 @@ def directed_weighted_girth(graph, leaf_size=None, ledger=None,
         if cand < best:
             best = cand
             witness = eid
-    if ledger is not None:
+    if ledger is not None and labeling_backend == "legacy":
         ledger.charge(graph.eccentricity(0) + 1, "directed-girth/aggregate",
                       ref="[36] via one PA task")
     if math.isinf(best):

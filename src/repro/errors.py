@@ -40,3 +40,23 @@ class SimulationError(ReproError):
 class ServiceError(ReproError):
     """The serving layer was asked for an unknown graph or an invalid
     query (e.g. a backend the planner does not recognize)."""
+
+
+class ProtocolError(ReproError):
+    """A ``repro.server`` wire frame was malformed: bad JSON, a
+    mismatched protocol version, an unknown verb, or an unknown
+    query/result kind."""
+
+
+class RemoteError(ReproError):
+    """A server-side failure whose exception type the client could not
+    reconstruct locally; ``remote_type`` carries the remote class name.
+
+    Failures whose type *is* known locally (every :class:`ReproError`
+    subclass plus the common builtins) are re-raised as that type
+    instead — see :func:`repro.server.wire.exception_from_wire`.
+    """
+
+    def __init__(self, message="remote failure", remote_type=None):
+        super().__init__(message)
+        self.remote_type = remote_type

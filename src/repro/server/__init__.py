@@ -1,0 +1,67 @@
+"""repro.server — the multi-worker query server (DESIGN.md §10).
+
+The serving layer of :mod:`repro.service` made one process's queries
+warm; this package shares that warmth across worker processes and
+network clients — the "compile once, serve many" daemon the ROADMAP's
+production north-star asks for:
+
+* :class:`~repro.server.pool.WarmWorkerPool` — registers graphs and
+  builds their artifacts *before* forking, so every worker inherits the
+  hot :class:`~repro.service.catalog.GraphCatalog` copy-on-write
+  (``spawn`` platforms get a pickled
+  :class:`~repro.service.catalog.CatalogSnapshot` instead) and
+  load-balances any query mix over a bounded per-worker window;
+* :class:`~repro.server.app.QueryServer` / :func:`~repro.server.app.
+  serve` — a stdlib ``socketserver`` TCP front end speaking the
+  newline-delimited JSON protocol of :mod:`repro.server.wire`
+  (versioned frames, typed error frames);
+* :class:`~repro.server.client.ServiceClient` — connection-reusing
+  client with one-round-trip batching and duplicate-query coalescing,
+  returning the same :class:`~repro.service.queries.QueryResult` /
+  :class:`~repro.service.batch.BatchReport` envelopes as in-process
+  serving, bit-identical results included.
+
+``python -m repro.server`` starts a server (with an optional demo
+grid); ``examples/network_serving.py`` is the end-to-end tour;
+``benchmarks/bench_server.py`` races the warm pool against the old
+fork-cold path.
+"""
+
+from repro.server.app import QueryServer, serve
+from repro.server.client import ServiceClient
+from repro.server.pool import WarmWorkerPool
+from repro.server.wire import (
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    exception_from_wire,
+    exception_to_wire,
+    graph_from_wire,
+    graph_to_wire,
+    query_from_wire,
+    query_result_from_wire,
+    query_result_to_wire,
+    query_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+
+__all__ = [
+    "WarmWorkerPool",
+    "QueryServer",
+    "serve",
+    "ServiceClient",
+    "PROTOCOL_VERSION",
+    "encode_frame",
+    "decode_frame",
+    "query_to_wire",
+    "query_from_wire",
+    "result_to_wire",
+    "result_from_wire",
+    "query_result_to_wire",
+    "query_result_from_wire",
+    "graph_to_wire",
+    "graph_from_wire",
+    "exception_to_wire",
+    "exception_from_wire",
+]

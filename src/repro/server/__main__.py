@@ -1,0 +1,83 @@
+"""``python -m repro.server`` — start the query server.
+
+Pre-warms a worker pool (optionally with a demo grid so a bare
+invocation is immediately queryable), forks the workers, then accepts
+NDJSON clients until interrupted:
+
+    PYTHONPATH=src python -m repro.server --host 127.0.0.1 --port 8423 \\
+        --workers 2 --rows 12 --cols 16
+
+The first stdout line is machine-readable —
+
+    repro.server listening on HOST:PORT (workers=N, graphs=[...])
+
+— which is how scripted callers (CI smoke, the example client) find an
+ephemeral ``--port 0`` binding.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.server.app import QueryServer
+from repro.server.pool import WarmWorkerPool
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="repro.server: multi-worker planar query server "
+                    "over a newline-delimited JSON socket protocol")
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8423,
+                    help="TCP port (0 binds an ephemeral port, printed "
+                         "on the first line)")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="worker processes (0 = serve in-process)")
+    ap.add_argument("--start-method", default=None,
+                    choices=["fork", "spawn"],
+                    help="multiprocessing start method (default: fork "
+                         "where available)")
+    ap.add_argument("--rows", type=int, default=12,
+                    help="demo grid rows (0 disables the demo graph)")
+    ap.add_argument("--cols", type=int, default=16)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--prewarm", default="flow,distance",
+                    help="comma-separated artifact kinds to build "
+                         "before forking (from: flow,cut,distance,"
+                         "girth; empty string skips)")
+    args = ap.parse_args(argv)
+
+    pool = WarmWorkerPool(workers=args.workers,
+                          start_method=args.start_method)
+    if args.rows > 0 and args.cols > 0:
+        from repro.planar.generators import grid, randomize_weights
+
+        g = randomize_weights(grid(args.rows, args.cols),
+                              seed=args.seed,
+                              directed_capacities=True)
+        pool.register(f"grid-{args.rows}x{args.cols}", g)
+    kinds = tuple(k for k in args.prewarm.split(",") if k)
+    took = pool.prewarm(kinds=kinds) \
+        if kinds and pool.catalog.names() else {}
+    pool.start()
+
+    server = QueryServer(pool, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"repro.server listening on {host}:{port} "
+          f"(workers={args.workers}, graphs={pool.catalog.names()})",
+          flush=True)
+    for (name, kind), seconds in took.items():
+        print(f"prewarmed {kind:<9} for {name!r} in {seconds:.2f}s",
+              flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        pool.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

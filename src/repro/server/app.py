@@ -1,0 +1,181 @@
+"""The socket server: NDJSON frames over TCP, dispatched to a
+:class:`~repro.server.pool.WarmWorkerPool` (DESIGN.md §10).
+
+Stdlib only — a :class:`socketserver.ThreadingTCPServer` whose handler
+threads read one request frame per line and block on the pool future
+for the answer, so slow queries never stall other connections and a
+``batch`` verb fans its queries out across *all* pool workers before
+gathering.  Failures become typed error frames
+(:func:`~repro.server.wire.exception_to_wire`); a handler never kills
+the connection over a bad frame.
+
+    pool = WarmWorkerPool(workers=4)
+    pool.register("g", graph)
+    pool.prewarm()
+    pool.start()                      # fork AFTER warming, BEFORE serving
+    with QueryServer(pool, host="0.0.0.0", port=8423) as server:
+        server.serve_forever()
+
+Note the order: the pool forks its workers before the server starts
+accepting connections, so the fork happens while the process is still
+single-threaded — handler threads only ever talk to already-running
+workers through queues.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.errors import ProtocolError, ServiceError
+from repro.server import wire
+from repro.server.pool import WarmWorkerPool
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):
+        for line in self.rfile:
+            line = line.strip()
+            if not line:
+                continue
+            frame_id = None
+            try:
+                frame = wire.decode_frame(line)
+                frame_id = frame.get("id")
+                wire.check_version(frame)
+                response = self.server.app.dispatch(frame)
+            except Exception as exc:
+                response = {"v": wire.PROTOCOL_VERSION, "id": frame_id,
+                            "ok": False,
+                            "error": wire.exception_to_wire(exc)}
+            try:
+                self.wfile.write(wire.encode_frame(response))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class QueryServer:
+    """Serve a :class:`~repro.server.pool.WarmWorkerPool` over TCP.
+
+    ``port=0`` binds an ephemeral port; read the actual address back
+    from :attr:`address`.  :meth:`serve_forever` blocks;
+    :meth:`start_background` runs the accept loop on a daemon thread
+    (the in-process embedding the tests and the example use).
+    """
+
+    def __init__(self, pool, host="127.0.0.1", port=0):
+        self.pool = pool
+        self._server = _TCPServer((host, port), _Handler)
+        self._server.app = self
+        self._thread = None
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound."""
+        return self._server.server_address[:2]
+
+    # ------------------------------------------------------------------
+    def serve_forever(self):
+        self._server.serve_forever()
+
+    def start_background(self):
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        daemon=True,
+                                        name="repro-server-accept")
+        self._thread.start()
+        return self
+
+    def shutdown(self):
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.shutdown()
+        return False
+
+    # ------------------------------------------------------------------
+    def dispatch(self, frame):
+        """One request frame -> one response frame (exceptions are the
+        caller's to wrap as error frames)."""
+        verb = frame.get("verb")
+        out = {"v": wire.PROTOCOL_VERSION, "id": frame.get("id"),
+               "ok": True}
+        if verb == "query":
+            q = wire.query_from_wire(frame.get("query"))
+            r = self.pool.submit(q).result()
+            out.update(wire.query_result_to_wire(r))
+        elif verb == "batch":
+            queries = frame.get("queries")
+            if not isinstance(queries, list):
+                raise ProtocolError("batch frame needs a 'queries' list")
+            futures = [self.pool.submit(wire.query_from_wire(p))
+                       for p in queries]
+            out["results"] = [wire.query_result_to_wire(f.result())
+                              for f in futures]
+        elif verb == "register":
+            name = frame.get("name")
+            if not isinstance(name, str) or not name:
+                raise ProtocolError("register frame needs a 'name'")
+            graph = wire.graph_from_wire(frame.get("graph"))
+            self.pool.register(name, graph,
+                               overwrite=bool(frame.get("overwrite")))
+            out["registered"] = name
+        elif verb == "set_weights":
+            name = frame.get("graph")
+            self.pool.set_weights(name,
+                                  weights=frame.get("weights"),
+                                  capacities=frame.get("capacities"))
+            out["repriced"] = name
+        elif verb == "stats":
+            out["stats"] = self.pool.stats(
+                worker_catalogs=bool(frame.get("worker_catalogs", True)))
+        elif verb == "graphs":
+            out["graphs"] = self.pool.catalog.names()
+        elif verb == "ping":
+            from repro import __version__
+
+            out.update({"pong": True, "version": wire.PROTOCOL_VERSION,
+                        "repro": __version__})
+        else:
+            raise ProtocolError(f"unknown verb {verb!r}")
+        return out
+
+
+_DEFAULT_PREWARM = ("flow", "distance")
+
+
+def serve(pool=None, host="127.0.0.1", port=0, graphs=None,
+          prewarm=_DEFAULT_PREWARM, workers=None):
+    """Convenience one-call server: build/warm/fork/serve.
+
+    ``graphs`` maps name -> :class:`~repro.planar.graph.PlanarGraph`;
+    returns the running (background) :class:`QueryServer` so the caller
+    owns shutdown.  With ``pool`` given, ``graphs``/``prewarm``/
+    ``workers`` must be None/default — the pool was configured by its
+    owner.
+    """
+    if pool is None:
+        pool = WarmWorkerPool(workers=workers)
+        for name, graph in (graphs or {}).items():
+            pool.register(name, graph)
+        if prewarm:
+            pool.prewarm(kinds=prewarm)
+        pool.start()
+    elif graphs or workers is not None or prewarm != _DEFAULT_PREWARM:
+        raise ServiceError("pass either a configured pool or "
+                           "graphs/prewarm/workers, not both")
+    return QueryServer(pool, host=host, port=port).start_background()
+
+
+__all__ = ["QueryServer", "serve"]

@@ -1,0 +1,212 @@
+"""Client library for the query server: connection reuse, one-line
+calls, client-side batching (DESIGN.md §10).
+
+A :class:`ServiceClient` keeps one TCP connection open across calls
+(reconnecting once, transparently, if the server dropped it between
+calls) and mirrors the in-process serving API:
+
+    with ServiceClient(host, port) as client:
+        r = client.query(FlowQuery("g", 0, 99))       # QueryResult
+        report = client.run(mixed_queries)            # BatchReport
+        dists = client.distances("g", [(0, 5), (3, 7)])
+
+Batching is where the network layer earns its keep: :meth:`run` ships
+any query mix as **one** ``batch`` frame (one round-trip, fanned out
+across all pool workers server-side), and it *coalesces* duplicate
+queries before sending — the dominant pattern of a distance-heavy
+workload, where many clients ask for the same few
+``(graph, f, g)`` pairs, pays one label decode and one wire entry for
+all of them.  Results come back in input order either way, bit-identical
+to in-process :func:`~repro.service.queries.execute_query` (the wire
+codec round-trips every result type exactly — ``tests/test_server.py``).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.errors import ProtocolError
+from repro.server import wire
+from repro.service.batch import BatchReport
+from repro.service.queries import DistanceQuery, QueryResult
+
+
+class ServiceClient:
+    """Thin typed client over the NDJSON wire protocol."""
+
+    def __init__(self, host="127.0.0.1", port=8423, timeout=None):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = None
+        self._file = None
+        self._frame_id = 0
+
+    # ------------------------------------------------------------------
+    # connection
+    # ------------------------------------------------------------------
+    def connect(self):
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+            self._file = self._sock.makefile("rwb")
+        return self
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._file.close()
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+            self._file = None
+
+    def __enter__(self):
+        return self.connect()
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # frame plumbing
+    # ------------------------------------------------------------------
+    #: verbs safe to re-send after a dropped connection — a repeat
+    #: serves the same answer.  ``register`` is deliberately absent: a
+    #: reset can arrive *after* the server executed the frame, and a
+    #: resent register would fail as "already registered" (or worse,
+    #: with overwrite=True, silently run twice)
+    _RETRY_VERBS = frozenset(
+        {"query", "batch", "stats", "graphs", "ping", "set_weights"})
+
+    def _call(self, verb, **payload):
+        self.connect()
+        self._frame_id += 1
+        frame = {"v": wire.PROTOCOL_VERSION, "id": self._frame_id,
+                 "verb": verb}
+        frame.update(payload)
+        data = wire.encode_frame(frame)
+        try:
+            response = self._roundtrip(data)
+        except (ConnectionResetError, BrokenPipeError, EOFError):
+            # stale/dropped connection: reconnect once and retry, but
+            # only for idempotent verbs — and never on a socket
+            # timeout (also an OSError), which means the request may
+            # still be executing server-side
+            if verb not in self._RETRY_VERBS:
+                self.close()
+                raise
+            self.close()
+            self.connect()
+            response = self._roundtrip(data)
+        if response.get("id") != frame["id"]:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {frame['id']!r}")
+        if not response.get("ok"):
+            raise wire.exception_from_wire(response.get("error", {}))
+        return response
+
+    def _roundtrip(self, data):
+        self._file.write(data)
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise EOFError("server closed the connection")
+        return wire.decode_frame(line)
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def ping(self):
+        """Liveness + version handshake."""
+        return self._call("ping")
+
+    def query(self, query):
+        """Serve one typed query; returns the
+        :class:`~repro.service.queries.QueryResult` envelope."""
+        response = self._call("query", query=wire.query_to_wire(query))
+        return wire.query_result_from_wire(query, response)
+
+    def run(self, queries):
+        """Serve a query mix in one round-trip; returns a
+        :class:`~repro.service.batch.BatchReport` in input order.
+
+        Duplicate queries are coalesced client-side: each distinct
+        query travels (and is served) once, and every duplicate gets
+        the same result object back — same sharing contract as the
+        catalog's result cache.
+        """
+        queries = list(queries)
+        t0 = time.perf_counter()
+        distinct = []
+        index_of = {}
+        for q in queries:
+            if q not in index_of:
+                index_of[q] = len(distinct)
+                distinct.append(q)
+        response = self._call(
+            "batch", queries=[wire.query_to_wire(q) for q in distinct])
+        payloads = response["results"]
+        if len(payloads) != len(distinct):
+            raise ProtocolError(
+                f"batch answered {len(payloads)} of {len(distinct)} "
+                f"queries")
+        envelopes = [wire.query_result_from_wire(q, p)
+                     for q, p in zip(distinct, payloads)]
+        # expand back to input order; replicated duplicates are warm
+        # hits against the first occurrence (zero extra serve time),
+        # matching what run_batch's result cache would have reported
+        results = []
+        seen = set()
+        for q in queries:
+            env = envelopes[index_of[q]]
+            if q in seen:
+                env = QueryResult(query=q, backend=env.backend,
+                                  result=env.result, warm=True,
+                                  seconds=0.0)
+            seen.add(q)
+            results.append(env)
+        warm = sum(bool(r.warm) for r in results)
+        return BatchReport(results=results,
+                           seconds=time.perf_counter() - t0,
+                           warm_hits=warm,
+                           cold_misses=len(results) - warm)
+
+    def distances(self, graph, pairs, backend="auto"):
+        """Coalesced dual distances: one round-trip for many ``(f, g)``
+        pairs on one graph — the cached Theorem 2.1 labels decode each
+        distinct pair once (Lemma 2.2).  Returns the values in input
+        order."""
+        report = self.run(DistanceQuery(graph, f, g, backend=backend)
+                          for f, g in pairs)
+        return report.values()
+
+    def register(self, name, graph, overwrite=False):
+        """Register a graph on the server (and all pool workers)."""
+        return self._call("register", name=name,
+                          graph=wire.graph_to_wire(graph),
+                          overwrite=overwrite)["registered"]
+
+    def set_weights(self, name, weights=None, capacities=None):
+        """Reprice a served graph in place, pool-wide."""
+        weights = None if weights is None else list(weights)
+        capacities = None if capacities is None else list(capacities)
+        return self._call("set_weights", graph=name, weights=weights,
+                          capacities=capacities)["repriced"]
+
+    def graphs(self):
+        """Names registered on the server."""
+        return self._call("graphs")["graphs"]
+
+    def stats(self, worker_catalogs=True):
+        """Server observability: cache hit/miss counters, per-query-type
+        latency, worker occupancy (see
+        :meth:`~repro.server.pool.WarmWorkerPool.stats`)."""
+        return self._call("stats",
+                          worker_catalogs=worker_catalogs)["stats"]
+
+
+__all__ = ["ServiceClient"]

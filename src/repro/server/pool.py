@@ -1,0 +1,538 @@
+"""Pre-warmed worker pool: compile once, serve from many processes
+(DESIGN.md §10).
+
+The serving problem after PR 3/PR 4 is not making warm queries fast —
+it is *sharing the warmth*: ``run_sharded`` forked one cold process per
+graph, so every worker re-paid the CSR compile, BDD build and
+Theorem 2.1 labeling before answering anything.  A
+:class:`WarmWorkerPool` inverts the order:
+
+1. **register + prewarm** — graphs are registered in the *master*
+   :class:`~repro.service.catalog.GraphCatalog` and the expensive
+   artifacts (flow solvers, labelings, girth oracles) are built once,
+   in the parent;
+2. **fork** — :meth:`WarmWorkerPool.start` forks the workers, which
+   inherit the hot catalog copy-on-write: no pickling, no rebuild, a
+   worker's first query is already warm.  Where ``fork`` is
+   unavailable the pool falls back to ``spawn`` and hands each worker
+   a pickled :class:`~repro.service.catalog.CatalogSnapshot` instead
+   (same warm artifacts, one payload; workspace pools are never
+   shipped — each worker rebuilds its own buffers, per the engine's
+   per-process-buffers contract);
+3. **serve** — queries are dispatched over *all* workers with a
+   bounded per-worker window: any worker answers any query, so a skewed
+   mix (10⁴ queries on one graph, 3 on another) still saturates the
+   pool — the imbalance that one-shard-per-graph ``run_sharded`` could
+   not avoid.
+
+Consistency: each worker owns a private catalog copy, and commands
+(``register``, ``set_weights``) are broadcast to every worker's
+command queue, which is FIFO per worker — so a query submitted *after*
+:meth:`set_weights` returns always sees the new weights, while queries
+already in flight may complete under either weighting.  Call
+:meth:`drain` first for a barrier.
+
+Failure containment: a query that raises inside a worker ships the
+exception back (typed, the original class when picklable) and fails
+only that query's future; a worker that *dies* fails its in-flight
+futures with :class:`~repro.errors.ServiceError` and the pool carries
+on with the survivors.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+
+from repro.errors import RemoteError, ServiceError
+
+_PREWARM_KINDS = ("flow", "cut", "distance", "girth")
+
+
+def _worker_main(worker_id, catalog, snapshot, command_q, result_q):
+    """Worker process entry point (top-level for spawn picklability).
+
+    Exactly one of ``catalog`` (fork: the master catalog, inherited
+    copy-on-write) and ``snapshot`` (spawn: pickled warm-state handoff)
+    is set.
+    """
+    from repro.service.queries import execute_query
+
+    if catalog is None:
+        catalog = snapshot.restore()
+    while True:
+        msg = command_q.get()
+        verb = msg[0]
+        if verb == "stop":
+            break
+        if verb == "query":
+            _, job_id, query = msg
+            try:
+                result_q.put((worker_id, job_id, True,
+                              execute_query(catalog, query)))
+            except Exception as exc:
+                result_q.put((worker_id, job_id, False, _ship_exc(exc)))
+        elif verb == "register":
+            _, name, graph, overwrite = msg
+            try:
+                catalog.register(name, graph, overwrite=overwrite)
+            except Exception:
+                # a failed broadcast must not kill the worker; the
+                # master catalog already validated the same call
+                pass
+        elif verb == "set_weights":
+            _, name, weights, capacities = msg
+            try:
+                catalog.set_weights(name, weights=weights,
+                                    capacities=capacities)
+            except Exception:
+                pass
+        elif verb == "stats":
+            _, job_id = msg
+            result_q.put((worker_id, job_id, True, catalog.stats()))
+
+
+def _ship_exc(exc):
+    """The exception itself when it pickles, else ``(type_name, str)``
+    — queue feeder threads must never hit a pickle failure."""
+    try:
+        pickle.dumps(exc)
+        return exc
+    except Exception:
+        return (type(exc).__name__, str(exc))
+
+
+def _unship_exc(payload):
+    if isinstance(payload, BaseException):
+        return payload
+    name, message = payload
+    return RemoteError(message, remote_type=name)
+
+
+class WarmWorkerPool:
+    """Load-balancing query pool over one pre-warmed catalog.
+
+    ``workers=0`` is the in-process mode: no child processes, queries
+    execute synchronously (under a lock) against the master catalog —
+    the portable fallback and the zero-overhead choice for tests and
+    single-tenant embedding.  ``start_method`` pins the multiprocessing
+    start method (default: ``fork`` where available, else ``spawn``).
+
+    Use as a context manager, or call :meth:`close` — forked children
+    are daemons, but closing promptly frees their catalog copies.
+    """
+
+    def __init__(self, workers=None, catalog=None, planner=None,
+                 start_method=None, window=2):
+        from repro.service.catalog import GraphCatalog
+
+        if workers is None:
+            workers = max(1, min(4, os.cpu_count() or 1))
+        if workers < 0:
+            raise ServiceError("workers must be >= 0")
+        if window < 1:
+            raise ServiceError("window must be >= 1")
+        self.workers = workers
+        self.window = window
+        self.start_method = start_method
+        self.catalog = catalog if catalog is not None \
+            else GraphCatalog(planner=planner)
+
+        self._lock = threading.Lock()
+        self._started = False
+        self._closed = False
+        self._procs = {}
+        self._command_qs = {}
+        self._result_q = None
+        self._collector = None
+        self._job_counter = 0
+        self._pending = deque()            # (job_id, query)
+        self._futures = {}                 # job_id -> Future
+        self._assigned = {}                # job_id -> worker_id
+        self._job_kind = {}                # job_id -> "query" | "stats"
+        self._inflight = {}                # worker_id -> count
+        self._completed = {}               # worker_id -> count
+        self._dead = set()
+        self._by_kind = OrderedDict()      # query-type latency rollup
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def register(self, name, graph, overwrite=False):
+        """Register ``graph`` in the master catalog; after
+        :meth:`start`, also broadcast it to every worker (workers build
+        its artifacts on demand — only pre-fork graphs inherit warmth).
+        """
+        # under the lock: with workers=0 the master catalog is the
+        # serving catalog, and submit() executes queries against it
+        # from concurrent server handler threads
+        with self._lock:
+            entry = self.catalog.register(name, graph,
+                                          overwrite=overwrite)
+        self._broadcast(("register", name, graph, overwrite))
+        return entry
+
+    def prewarm(self, names=None, kinds=("flow", "distance")):
+        """Build the expensive artifacts in the master catalog, before
+        forking.  ``kinds`` ⊆ ``{"flow", "cut", "distance", "girth"}``
+        (``cut`` is an alias of ``flow`` — both live on the flow
+        solver; ``girth`` additionally memoizes the girth answer).
+        Returns ``{(name, kind): seconds}`` for observability.
+        """
+        from repro.service.queries import GirthQuery
+
+        unknown = sorted(set(kinds) - set(_PREWARM_KINDS))
+        if unknown:
+            raise ServiceError(f"unknown prewarm kind(s) {unknown}; "
+                               f"expected from {_PREWARM_KINDS}")
+        took = {}
+        for name in (self.catalog.names() if names is None else names):
+            entry = self.catalog.get(name)
+            for kind in kinds:
+                t0 = time.perf_counter()
+                if kind in ("flow", "cut"):
+                    entry.flow_solver()
+                elif kind == "distance":
+                    entry.labeling()
+                elif kind == "girth":
+                    self.catalog.serve(GirthQuery(name))
+                took[(name, kind)] = time.perf_counter() - t0
+        return took
+
+    def start(self):
+        """Fork the workers (no-op layout for ``workers=0``).  Must be
+        called before :meth:`submit`; graphs registered and prewarmed
+        so far are inherited hot."""
+        import multiprocessing as mp
+
+        if self._started:
+            raise ServiceError("pool already started")
+        if self._closed:
+            raise ServiceError("pool is closed")
+        self._started = True
+        if self.workers == 0:
+            return self
+        method = self.start_method
+        if method is None:
+            method = "fork" if "fork" in mp.get_all_start_methods() \
+                else "spawn"
+        self._method = method
+        ctx = mp.get_context(method)
+        self._result_q = ctx.Queue()
+        snapshot = None if method == "fork" else self.catalog.snapshot()
+        for wid in range(self.workers):
+            cq = ctx.SimpleQueue()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(wid, self.catalog if method == "fork" else None,
+                      snapshot, cq, self._result_q),
+                daemon=True, name=f"repro-server-worker-{wid}")
+            proc.start()
+            self._procs[wid] = proc
+            self._command_qs[wid] = cq
+            self._inflight[wid] = 0
+            self._completed[wid] = 0
+        self._collector = threading.Thread(target=self._collect,
+                                           daemon=True,
+                                           name="repro-server-collector")
+        self._collector.start()
+        return self
+
+    def close(self):
+        """Stop the workers and fail any unresolved futures."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for wid, cq in self._command_qs.items():
+            if wid not in self._dead:
+                try:
+                    cq.put(("stop",))
+                except Exception:
+                    pass
+        for proc in self._procs.values():
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+        if self._result_q is not None:
+            self._result_q.put(None)
+        if self._collector is not None:
+            self._collector.join(timeout=5)
+        with self._lock:
+            doomed = list(self._futures.values())
+            self._futures.clear()
+            self._pending.clear()
+        for fut in doomed:
+            if not fut.done():
+                fut.set_exception(ServiceError("worker pool closed"))
+
+    def __enter__(self):
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def submit(self, query):
+        """Enqueue one typed query; returns a
+        :class:`concurrent.futures.Future` resolving to the worker's
+        :class:`~repro.service.queries.QueryResult` (or raising what
+        the query raised)."""
+        from repro.service.queries import execute_query
+
+        if not self._started:
+            raise ServiceError("pool not started (call start())")
+        fut = Future()
+        if self.workers == 0:
+            with self._lock:
+                if self._closed:
+                    raise ServiceError("worker pool closed")
+                try:
+                    r = execute_query(self.catalog, query)
+                except Exception as exc:
+                    fut.set_exception(exc)
+                else:
+                    self._account(type(query).__name__, r)
+                    fut.set_result(r)
+            return fut
+        with self._lock:
+            # re-checked under the lock: a close() that won the race
+            # has already doomed every registered future, and one
+            # registered after it would never resolve
+            if self._closed:
+                raise ServiceError("worker pool closed")
+            self._job_counter += 1
+            job_id = self._job_counter
+            self._futures[job_id] = fut
+            self._job_kind[job_id] = "query"
+            self._pending.append((job_id, query))
+            self._fill()
+        return fut
+
+    def run(self, queries):
+        """Serve a batch across the pool; returns a
+        :class:`~repro.service.batch.BatchReport` in input order.
+
+        ``warm`` accounting is per *worker* catalog — the same query
+        repeated may land on different workers and be cold in each
+        until every copy has seen it.
+        """
+        from repro.service.batch import BatchReport
+
+        t0 = time.perf_counter()
+        futures = [self.submit(q) for q in queries]
+        results = [f.result() for f in futures]
+        warm = sum(bool(r.warm) for r in results)
+        return BatchReport(results=results,
+                           seconds=time.perf_counter() - t0,
+                           warm_hits=warm,
+                           cold_misses=len(results) - warm)
+
+    def drain(self, timeout=None):
+        """Block until every submitted query has resolved — the barrier
+        that makes a following :meth:`set_weights` total."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            with self._lock:
+                live = [f for f in self._futures.values()]
+                if not live and not self._pending:
+                    return
+            for f in live:
+                remaining = None if deadline is None \
+                    else max(0.0, deadline - time.monotonic())
+                f.exception(timeout=remaining)
+
+    def set_weights(self, name, weights=None, capacities=None):
+        """Reprice ``name`` on the master catalog and broadcast the
+        mutation to every worker (FIFO per worker: later submissions
+        always see the new weights)."""
+        # materialize first: the master catalog and the broadcast must
+        # see the same values even when handed a one-shot iterable
+        weights = None if weights is None else list(weights)
+        capacities = None if capacities is None else list(capacities)
+        with self._lock:  # serialize against in-process query serving
+            self.catalog.set_weights(name, weights=weights,
+                                     capacities=capacities)
+        self._broadcast(("set_weights", name, weights, capacities))
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self, worker_catalogs=True, timeout=10.0):
+        """Pool observability: worker occupancy, per-query-type latency
+        rollup, master-catalog cache counters and (optionally) each
+        worker's own catalog counters.
+
+        The per-worker catalog probe rides the FIFO command queue, so
+        a worker busy with a long cold query past ``timeout`` reports
+        ``{"busy": True}`` instead of blocking the caller — stats stay
+        available exactly when the pool is loaded."""
+        with self._lock:
+            occupancy = [{"worker": wid,
+                          "alive": wid not in self._dead,
+                          "inflight": self._inflight.get(wid, 0),
+                          "completed": self._completed.get(wid, 0)}
+                         for wid in self._procs] or \
+                        [{"worker": "in-process", "alive": True,
+                          "inflight": 0,
+                          "completed": sum(
+                              row["count"]
+                              for row in self._by_kind.values())}]
+            by_kind = {kind: dict(row)
+                       for kind, row in self._by_kind.items()}
+            pending = len(self._pending)
+            master = self.catalog.stats()  # under the lock: workers=0
+            #                                serves against this catalog
+        stats = {"workers": self.workers,
+                 "start_method": getattr(self, "_method", "in-process"),
+                 "pending": pending,
+                 "occupancy": occupancy,
+                 "by_kind": by_kind,
+                 "master": master}
+        if worker_catalogs and self.workers and self._started \
+                and not self._closed:
+            futures = {}
+            with self._lock:
+                for wid in self._procs:
+                    if wid in self._dead:
+                        continue
+                    self._job_counter += 1
+                    job_id = self._job_counter
+                    fut = Future()
+                    self._futures[job_id] = fut
+                    self._assigned[job_id] = wid
+                    self._job_kind[job_id] = "stats"
+                    futures[wid] = fut
+                    self._command_qs[wid].put(("stats", job_id))
+            from concurrent.futures import TimeoutError as _Timeout
+
+            catalogs = {}
+            deadline = time.monotonic() + timeout
+            for wid, fut in futures.items():
+                try:
+                    catalogs[wid] = fut.result(
+                        timeout=max(0.0, deadline - time.monotonic()))
+                except _Timeout:
+                    catalogs[wid] = {"busy": True}
+                except Exception as exc:
+                    # e.g. the worker died with the probe outstanding;
+                    # degrade per worker, never fail the whole call
+                    catalogs[wid] = {"unavailable": str(exc)}
+            stats["catalogs"] = catalogs
+        return stats
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _broadcast(self, msg):
+        if not self.workers or not self._started or self._closed:
+            return
+        for wid, cq in self._command_qs.items():
+            if wid not in self._dead:
+                cq.put(msg)
+
+    def _fill(self):
+        """Dispatch pending queries to the least-loaded live workers,
+        bounded by ``window`` in-flight per worker.  Caller holds the
+        lock."""
+        while self._pending:
+            candidates = [(count, wid)
+                          for wid, count in self._inflight.items()
+                          if wid not in self._dead and count < self.window]
+            if not candidates:
+                return
+            count, wid = min(candidates)
+            job_id, query = self._pending.popleft()
+            self._assigned[job_id] = wid
+            self._inflight[wid] = count + 1
+            self._command_qs[wid].put(("query", job_id, query))
+
+    def _account(self, kind, result):
+        row = self._by_kind.setdefault(
+            kind, {"count": 0, "warm": 0, "seconds": 0.0})
+        row["count"] += 1
+        row["warm"] += bool(result.warm)
+        row["seconds"] += getattr(result, "seconds", 0.0)
+
+    def _collect(self):
+        import queue as _queue
+
+        last_reap = time.monotonic()
+        while True:
+            try:
+                item = self._result_q.get(timeout=1.0)
+            except _queue.Empty:
+                self._reap_dead()
+                last_reap = time.monotonic()
+                continue
+            if item is None:
+                return
+            # reap on a clock, not only when the queue goes idle —
+            # under sustained traffic a crashed worker's in-flight
+            # futures must still fail promptly
+            if time.monotonic() - last_reap > 0.5:
+                self._reap_dead()
+                last_reap = time.monotonic()
+            wid, job_id, ok, payload = item
+            with self._lock:
+                fut = self._futures.pop(job_id, None)
+                kind = self._job_kind.pop(job_id, "query")
+                self._assigned.pop(job_id, None)
+                if kind == "query":
+                    if wid in self._inflight:
+                        self._inflight[wid] = max(
+                            0, self._inflight[wid] - 1)
+                        self._completed[wid] += 1
+                    if ok:
+                        self._account(type(payload.query).__name__,
+                                      payload)
+                    self._fill()
+            if fut is None:
+                continue
+            if ok:
+                fut.set_result(payload)
+            else:
+                fut.set_exception(_unship_exc(payload))
+
+    def _reap_dead(self):
+        """Fail the in-flight futures of workers that died; the pool
+        keeps serving on the survivors."""
+        doomed = []
+        with self._lock:
+            for wid, proc in self._procs.items():
+                if wid in self._dead or proc.is_alive():
+                    continue
+                self._dead.add(wid)
+                self._inflight[wid] = 0
+                for job_id, owner in list(self._assigned.items()):
+                    if owner == wid:
+                        fut = self._futures.pop(job_id, None)
+                        self._assigned.pop(job_id, None)
+                        self._job_kind.pop(job_id, None)
+                        if fut is not None:
+                            doomed.append((wid, fut))
+            if self._dead and len(self._dead) == len(self._procs):
+                while self._pending:
+                    job_id, _q = self._pending.popleft()
+                    fut = self._futures.pop(job_id, None)
+                    self._job_kind.pop(job_id, None)
+                    if fut is not None:
+                        doomed.append((None, fut))
+            self._fill()
+        for wid, fut in doomed:
+            if not fut.done():
+                fut.set_exception(ServiceError(
+                    f"worker {wid} died mid-query" if wid is not None
+                    else "all pool workers died"))
+
+
+__all__ = ["WarmWorkerPool"]

@@ -1,0 +1,302 @@
+"""Wire protocol of the query server: newline-delimited JSON frames
+with versioned request/response schemas (DESIGN.md §10).
+
+One frame per line, UTF-8 JSON, terminated by ``\\n``.  Every request
+carries the protocol version and a caller-chosen correlation id; every
+response echoes both plus ``ok``:
+
+    {"v": 1, "id": 7, "verb": "query", "query": {"kind": "flow", ...}}
+    {"v": 1, "id": 7, "ok": true, "backend": "engine", "warm": false,
+     "seconds": 0.004, "result": {"kind": "max-flow", ...}}
+    {"v": 1, "id": 8, "ok": false,
+     "error": {"type": "ServiceError", "message": "unknown graph 'x'"}}
+
+Verbs: ``query``, ``batch``, ``register``, ``set_weights``, ``stats``,
+``graphs``, ``ping``.  Responses to failures are *typed error frames*:
+the server ships the exception class name (plus the ``where`` payload
+of a :class:`~repro.errors.NegativeCycleError`), and
+:func:`exception_from_wire` re-raises the same class on the client when
+it is one of the library's error types or a common builtin — anything
+else surfaces as :class:`~repro.errors.RemoteError`.
+
+Encoding notes (both ends are this module, so the choices are part of
+the protocol):
+
+* numbers keep their Python type — JSON integers decode as ``int``,
+  which is what makes served values bit-identical to in-process
+  :func:`~repro.service.queries.execute_query` results;
+* ``Infinity`` is legal (Python's ``json`` default) — an unreachable
+  dual distance really is ``math.inf``;
+* int-keyed dicts (flow assignments) travel as ``[key, value]`` pair
+  lists, since JSON objects would stringify the keys.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, fields
+
+import repro.errors as _errors
+from repro.core.girth import GirthResult
+from repro.core.maxflow import MaxFlowResult
+from repro.core.mincut import MinCutResult
+from repro.errors import (
+    NegativeCycleError,
+    ProtocolError,
+    RemoteError,
+    ReproError,
+)
+from repro.service.queries import (
+    CutQuery,
+    DistanceQuery,
+    FlowQuery,
+    GirthQuery,
+    QueryResult,
+)
+
+PROTOCOL_VERSION = 1
+
+#: wire kind <-> query dataclass
+QUERY_KINDS = {
+    "flow": FlowQuery,
+    "cut": CutQuery,
+    "girth": GirthQuery,
+    "distance": DistanceQuery,
+}
+_KIND_OF_QUERY = {cls: kind for kind, cls in QUERY_KINDS.items()}
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(payload):
+    """One frame: compact JSON + newline, as bytes."""
+    return (json.dumps(payload, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode_frame(line):
+    """Parse one frame (bytes or str); :class:`ProtocolError` on bad
+    JSON or a non-object payload."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame must be a JSON object, got "
+                            f"{type(payload).__name__}")
+    return payload
+
+
+def check_version(frame):
+    """Raise :class:`ProtocolError` unless the frame speaks this
+    protocol version."""
+    v = frame.get("v")
+    if v != PROTOCOL_VERSION:
+        raise ProtocolError(f"protocol version mismatch: frame says "
+                            f"{v!r}, server speaks {PROTOCOL_VERSION}")
+
+
+# ----------------------------------------------------------------------
+# queries
+# ----------------------------------------------------------------------
+def query_to_wire(query):
+    """``{"kind": ..., **fields}`` for any of the four typed queries."""
+    kind = _KIND_OF_QUERY.get(type(query))
+    if kind is None:
+        raise ProtocolError(f"cannot send query type "
+                            f"{type(query).__name__} over the wire")
+    payload = asdict(query)
+    payload["kind"] = kind
+    return payload
+
+
+def query_from_wire(payload):
+    """Rebuild the typed query; :class:`ProtocolError` on an unknown
+    kind or unexpected fields."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("query payload must be a JSON object")
+    payload = dict(payload)
+    kind = payload.pop("kind", None)
+    cls = QUERY_KINDS.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown query kind {kind!r}; expected one "
+                            f"of {sorted(QUERY_KINDS)}")
+    allowed = {f.name for f in fields(cls)}
+    unexpected = sorted(set(payload) - allowed)
+    if unexpected:
+        raise ProtocolError(f"unexpected {kind} query field(s): "
+                            f"{unexpected}")
+    return cls(**payload)
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+def _pairs(mapping):
+    return [[k, v] for k, v in sorted(mapping.items())]
+
+
+def result_to_wire(result):
+    """Tagged payload for a served result object (the ``result`` field
+    of a :class:`~repro.service.queries.QueryResult`)."""
+    if result is None:
+        return {"kind": "none"}
+    if isinstance(result, bool):
+        raise ProtocolError("no served query returns a bare bool")
+    if isinstance(result, (int, float)):
+        return {"kind": "number", "value": result}
+    if isinstance(result, MaxFlowResult):
+        return {"kind": "max-flow", "value": result.value,
+                "flow": _pairs(result.flow), "probes": result.probes,
+                "path_darts": list(result.path_darts)}
+    if isinstance(result, MinCutResult):
+        return {"kind": "min-cut", "value": result.value,
+                "source_side": list(result.source_side),
+                "cut_edge_ids": list(result.cut_edge_ids),
+                "flow": _pairs(result.flow)}
+    if isinstance(result, GirthResult):
+        return {"kind": "girth", "value": result.value,
+                "cycle_edge_ids": list(result.cycle_edge_ids),
+                "cut_side_faces": list(result.cut_side_faces),
+                "ma_rounds": result.ma_rounds,
+                "congest_rounds": result.congest_rounds}
+    raise ProtocolError(f"cannot send result type "
+                        f"{type(result).__name__} over the wire")
+
+
+def result_from_wire(payload):
+    """Inverse of :func:`result_to_wire` — rebuilds the exact result
+    object (int-keyed flow dicts and all)."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("result payload must be a JSON object")
+    kind = payload.get("kind")
+    if kind == "none":
+        return None
+    if kind == "number":
+        return payload["value"]
+    if kind == "max-flow":
+        return MaxFlowResult(value=payload["value"],
+                             flow=dict(map(tuple, payload["flow"])),
+                             probes=payload["probes"],
+                             path_darts=list(payload["path_darts"]))
+    if kind == "min-cut":
+        return MinCutResult(value=payload["value"],
+                            source_side=list(payload["source_side"]),
+                            cut_edge_ids=list(payload["cut_edge_ids"]),
+                            flow=dict(map(tuple, payload["flow"])))
+    if kind == "girth":
+        return GirthResult(value=payload["value"],
+                           cycle_edge_ids=list(payload["cycle_edge_ids"]),
+                           cut_side_faces=list(payload["cut_side_faces"]),
+                           ma_rounds=payload["ma_rounds"],
+                           congest_rounds=payload["congest_rounds"])
+    raise ProtocolError(f"unknown result kind {kind!r}")
+
+
+def query_result_to_wire(r):
+    """The response-envelope fields of one served query."""
+    return {"backend": r.backend, "warm": bool(r.warm),
+            "seconds": r.seconds, "result": result_to_wire(r.result)}
+
+
+def query_result_from_wire(query, payload):
+    """Rebuild a :class:`~repro.service.queries.QueryResult` envelope
+    on the client (``query`` is the local query object it answers)."""
+    return QueryResult(query=query, backend=payload["backend"],
+                       result=result_from_wire(payload["result"]),
+                       warm=payload["warm"],
+                       seconds=payload.get("seconds", 0.0))
+
+
+# ----------------------------------------------------------------------
+# graphs
+# ----------------------------------------------------------------------
+def graph_to_wire(graph):
+    """Plain-data payload for a ``register`` verb."""
+    return {"n": graph.n, "edges": [list(e) for e in graph.edges],
+            "rotations": [list(r) for r in graph.rotations],
+            "weights": list(graph.weights),
+            "capacities": list(graph.capacities)}
+
+
+def graph_from_wire(payload):
+    """Rebuild (and validate) the :class:`~repro.planar.graph.
+    PlanarGraph`; embedding problems surface as the usual
+    :class:`~repro.errors.EmbeddingError`."""
+    from repro.planar.graph import PlanarGraph
+
+    if not isinstance(payload, dict):
+        raise ProtocolError("graph payload must be a JSON object")
+    try:
+        return PlanarGraph(payload["n"],
+                           [tuple(e) for e in payload["edges"]],
+                           payload["rotations"],
+                           weights=payload.get("weights"),
+                           capacities=payload.get("capacities"))
+    except KeyError as exc:
+        raise ProtocolError(f"graph payload missing field {exc}") \
+            from None
+
+
+# ----------------------------------------------------------------------
+# typed error frames
+# ----------------------------------------------------------------------
+def exception_to_wire(exc):
+    """The ``error`` field of a failure response."""
+    payload = {"type": type(exc).__name__, "message": str(exc)}
+    where = getattr(exc, "where", None)
+    if where is not None and isinstance(where, (str, int, float)):
+        payload["where"] = where
+    return payload
+
+
+def _local_error_types():
+    types = {cls.__name__: cls
+             for cls in vars(_errors).values()
+             if isinstance(cls, type) and issubclass(cls, ReproError)}
+    for cls in (ValueError, KeyError, TypeError, RuntimeError):
+        types[cls.__name__] = cls
+    return types
+
+
+_ERROR_TYPES = _local_error_types()
+
+
+def exception_from_wire(payload):
+    """The exception a failure frame describes, ready to raise.
+
+    Library error types and common builtins are reconstructed as
+    themselves (so e.g. an unknown graph raises
+    :class:`~repro.errors.ServiceError` on the client exactly like the
+    in-process call); anything else becomes :class:`RemoteError`.
+    """
+    name = payload.get("type", "RemoteError")
+    message = payload.get("message", "remote failure")
+    cls = _ERROR_TYPES.get(name)
+    if cls is NegativeCycleError:
+        return cls(message, where=payload.get("where"))
+    if cls is not None:
+        return cls(message)
+    return RemoteError(message, remote_type=name)
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QUERY_KINDS",
+    "encode_frame",
+    "decode_frame",
+    "check_version",
+    "query_to_wire",
+    "query_from_wire",
+    "result_to_wire",
+    "result_from_wire",
+    "query_result_to_wire",
+    "query_result_from_wire",
+    "graph_to_wire",
+    "graph_from_wire",
+    "exception_to_wire",
+    "exception_from_wire",
+]

@@ -29,6 +29,7 @@ from repro._artifacts import ArtifactCache, Fingerprint, graph_fingerprint
 from repro.service.batch import BatchReport, run_batch, run_sharded
 from repro.service.catalog import (
     CatalogEntry,
+    CatalogSnapshot,
     GraphCatalog,
     WorkspacePool,
     default_dual_lengths,
@@ -49,6 +50,7 @@ __all__ = [
     "graph_fingerprint",
     "GraphCatalog",
     "CatalogEntry",
+    "CatalogSnapshot",
     "WorkspacePool",
     "default_dual_lengths",
     "FlowQuery",

@@ -10,12 +10,15 @@ distance query pays for the Theorem 2.1 labeling and every later pair
 decodes in label-size time (Lemma 2.2).  Results come back in input
 order and are bit-identical to the per-call entry points.
 
-:func:`run_sharded` fans a multi-graph batch out over a
-:class:`concurrent.futures.ProcessPoolExecutor`, one shard per graph:
-each worker process builds a private single-graph catalog, serves its
-shard warm, and ships the (picklable) results back.  Artifact caches
-are per-process, so sharding by graph — never splitting one graph's
-queries across workers — is what keeps every worker's cache hot.
+:func:`run_sharded` fans a multi-graph batch out over the pre-warmed
+worker pool of :mod:`repro.server.pool`: artifacts are built once in
+the parent (per the query mix), the workers inherit them copy-on-write,
+and every query is load-balanced over *all* workers — so a skewed mix
+(10⁴ queries on one graph, 3 on another) no longer serializes behind
+the one worker that owns the hot graph, which is what the original
+one-shard-per-graph fan-out did.  That older path (each worker process
+builds a private single-graph catalog cold) survives behind
+``fork_per_graph=True`` with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -77,11 +80,12 @@ def run_batch(catalog, queries, planner=None):
 
 
 # ----------------------------------------------------------------------
-# process-shard fan-out
+# multi-process fan-out
 # ----------------------------------------------------------------------
 @dataclass
 class _Shard:
-    """One worker's payload: a graph and its (index, query) slice."""
+    """One worker's payload on the deprecated fork-per-graph path: a
+    graph and its (index, query) slice."""
 
     name: str
     graph: object
@@ -89,8 +93,9 @@ class _Shard:
 
 
 def _shard_worker(shard):
-    """Worker entry point (top-level for pickling): serve one graph's
-    queries in a fresh private catalog."""
+    """Deprecated-path worker entry point (top-level for pickling):
+    serve one graph's queries in a fresh private catalog — every worker
+    pays its own cold compile/labeling before the first answer."""
     from repro.service.catalog import GraphCatalog
 
     catalog = GraphCatalog()
@@ -101,31 +106,125 @@ def _shard_worker(shard):
     return out
 
 
-def run_sharded(graphs, queries, max_workers=None):
+def _prewarm_queries(queries):
+    """One representative query per distinct *artifact signature* —
+    what :func:`run_sharded` executes in the parent, pre-fork, so the
+    workers inherit exactly the artifacts the mix will hit.
+
+    The signature is the set of query fields the catalog's artifact
+    keys depend on (graph, query type, direction, backend, knobs) —
+    never the endpoints — so 10⁴ flow pairs warm one solver, while a
+    ``leaf_size=9`` or ``backend="legacy"`` query warms *that* variant
+    instead of an unused default build."""
+    reps = OrderedDict()
+    for q in queries:
+        sig = (q.graph, type(q).__name__,
+               getattr(q, "directed", None), q.backend,
+               getattr(q, "leaf_size", None),
+               getattr(q, "num_trees", None))
+        reps.setdefault(sig, q)
+    return list(reps.values())
+
+
+def run_sharded(graphs, queries, max_workers=None, prewarm=True,
+                fork_per_graph=False):
     """Fan a multi-graph batch out over worker processes.
 
-    ``graphs`` maps name -> :class:`~repro.planar.graph.PlanarGraph`
-    (plain picklable data — workers rebuild their own artifacts);
+    ``graphs`` maps name -> :class:`~repro.planar.graph.PlanarGraph`;
     every ``query.graph`` must name a key of ``graphs``.  Returns a
-    :class:`BatchReport` with results in input order.  ``max_workers``
-    defaults to ``min(#graphs, os.cpu_count())``.
+    :class:`BatchReport` with results in input order.
 
-    Use this when the batch spans several graphs and each shard is
-    heavy enough to amortize a worker's cold start (one compile /
-    labeling per graph per process); for single-graph batches
-    :func:`run_batch` in-process is strictly better.
+    Since the :class:`~repro.server.pool.WarmWorkerPool` rewrite this
+    registers every graph in one master catalog, builds the artifacts
+    the query mix needs **once** in the parent (``prewarm=True``: one
+    representative query per distinct artifact signature — graph, type,
+    direction, backend, knobs — runs pre-fork), forks ``max_workers``
+    workers that inherit them copy-on-write, and load-balances the
+    queries over all workers — so no query count skew between graphs
+    can idle a worker, and no artifact is ever built twice.
+    ``max_workers`` defaults to ``min(os.cpu_count(), #queries, 8)``.
+
+    ``warm`` accounting in the report is per *worker* catalog: a
+    repeated query may land on different workers and be cold in each
+    until every copy has seen it.
+
+    ``fork_per_graph=True`` runs the pre-pool implementation (one cold
+    single-graph process per shard) and warns: it exists only as a
+    migration escape hatch and as the baseline that
+    ``benchmarks/bench_server.py`` races.
     """
-    from concurrent.futures import ProcessPoolExecutor
-
     from repro.errors import ServiceError
 
     queries = list(queries)
-    shards = OrderedDict()
-    for idx, q in enumerate(queries):
+    for q in queries:
         if q.graph not in graphs:
             raise ServiceError(f"query names unknown graph "
                                f"{q.graph!r}; provided: "
                                f"{sorted(graphs)}")
+    if fork_per_graph:
+        import warnings
+
+        warnings.warn(
+            "run_sharded(fork_per_graph=True) forks one cold process "
+            "per graph and is deprecated; the default warm-pool path "
+            "builds artifacts once and load-balances every query",
+            DeprecationWarning, stacklevel=2)
+        return _run_fork_per_graph(graphs, queries, max_workers)
+
+    # lazy import: repro.server builds on repro.service, so the service
+    # layer only reaches up from inside this call, never at import time
+    from repro.server.pool import WarmWorkerPool
+
+    if max_workers is None:
+        import os
+
+        max_workers = max(1, min(os.cpu_count() or 1, len(queries), 8))
+    t0 = time.perf_counter()
+    from repro._artifacts import shared_cache
+
+    # topology tokens with shared-cache entries predating this call —
+    # their graphs belong to the caller's own serving state and must
+    # survive the cleanup below
+    pre_shared_topos = {key[1] for key in shared_cache().keys()
+                        if len(key) > 1}
+    pool = WarmWorkerPool(workers=max_workers)
+    try:
+        for name, graph in graphs.items():
+            pool.register(name, graph)
+        if prewarm:
+            for rep in _prewarm_queries(queries):
+                try:
+                    execute_query(pool.catalog, rep)
+                except Exception:
+                    # best-effort warming; the real serve reports the
+                    # failure on the query that owns it
+                    pass
+        pool.start()
+        report = pool.run(queries)
+    finally:
+        pool.close()
+        # the old fork-per-graph path left the parent process clean
+        # (all builds happened in throwaway children); the warm pool
+        # builds in the parent, so free the shared-cache entries
+        # (compiled CSR, bags, oracles) of graphs this call introduced
+        # — but never those of a graph the caller was already serving
+        # engine queries from before this call
+        from repro._artifacts import topo_token
+
+        for name, graph in graphs.items():
+            if topo_token(graph) not in pre_shared_topos \
+                    and name in pool.catalog:
+                pool.catalog.unregister(name)
+    report.seconds = time.perf_counter() - t0
+    return report
+
+
+def _run_fork_per_graph(graphs, queries, max_workers):
+    """The deprecated one-shard-per-graph fan-out."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    shards = OrderedDict()
+    for idx, q in enumerate(queries):
         shard = shards.get(q.graph)
         if shard is None:
             shard = shards[q.graph] = _Shard(name=q.graph,

@@ -27,6 +27,8 @@ Ownership and invalidation:
 
 from __future__ import annotations
 
+import pickle
+
 from repro._artifacts import (
     ArtifactCache,
     Fingerprint,
@@ -345,3 +347,127 @@ class GraphCatalog:
                 "results": self.results.stats(),
                 "shared": shared_cache().stats(),
                 "graphs": self.names()}
+
+    # ------------------------------------------------------------------
+    # warm-state handoff
+    # ------------------------------------------------------------------
+    def snapshot(self, include_results=True):
+        """Capture the catalog's warm state as a picklable
+        :class:`CatalogSnapshot` — the pre-fork handoff of the
+        :class:`~repro.server.pool.WarmWorkerPool` (DESIGN.md §10).
+
+        Captured: the registered graphs, the planner, every picklable
+        artifact and (optionally) memoized result, and the graphs'
+        entries in the engine's process-wide shared cache (compiled CSR,
+        compiled labeling bags, cycle oracles).  *Not* captured —
+        recorded under ``snapshot.skipped`` instead:
+
+        * workspace pools (their factories are process-local closures
+          and their buffers are cheap) — a restored catalog rebuilds
+          them on first use, which is exactly the per-worker-buffers
+          contract of :mod:`repro.engine`;
+        * any artifact that fails a pickle probe.
+
+        The snapshot holds *live references*; pickling it (what a
+        ``spawn`` worker handoff does) copies everything in one payload,
+        so object sharing survives — e.g. a cached solver's graph stays
+        the very object registered under its name.
+        """
+        graphs = {name: e.graph for name, e in self._entries.items()}
+        tokens = {name: topo_token(g) for name, g in graphs.items()}
+        known_topos = set(tokens.values())
+        skipped = []
+
+        def capture(cache):
+            kept = []
+            for key, value in cache.items():
+                if isinstance(value, WorkspacePool) or not _picklable(value):
+                    skipped.append(key)
+                else:
+                    kept.append((key, value))
+            return kept
+
+        shared = []
+        for key, value in shared_cache().items():
+            if len(key) < 2 or key[1] not in known_topos:
+                continue
+            if _picklable(value):
+                shared.append((key, value))
+            else:
+                skipped.append(key)
+
+        return CatalogSnapshot(
+            graphs=graphs,
+            tokens=tokens,
+            planner=self.planner if _picklable(self.planner) else None,
+            artifacts=capture(self.artifacts),
+            results=capture(self.results) if include_results else [],
+            shared=shared,
+            skipped=skipped,
+            max_artifacts=self.artifacts.maxsize,
+            max_results=self.results.maxsize,
+        )
+
+
+def _picklable(value):
+    try:
+        pickle.dumps(value)
+        return True
+    except Exception:
+        return False
+
+
+class CatalogSnapshot:
+    """Picklable warm-state capture of a :class:`GraphCatalog` (see
+    :meth:`GraphCatalog.snapshot`).
+
+    :meth:`restore` rebuilds a working catalog around whatever the
+    snapshot holds.  Restoring the *same* (unpickled) snapshot object in
+    the process that made it shares the live graph objects with the
+    source catalog — fine for read-only use; pickle the snapshot first
+    (or hand it to another process, which does the same) when the two
+    catalogs must not see each other's weight mutations.
+    """
+
+    def __init__(self, graphs, tokens, planner, artifacts, results,
+                 shared, skipped, max_artifacts, max_results):
+        self.graphs = graphs
+        #: name -> topology token at snapshot time (process-local ids;
+        #: :meth:`restore` re-keys shared entries to the tokens the
+        #: receiving process assigns)
+        self.tokens = tokens
+        self.planner = planner
+        self.artifacts = artifacts
+        self.results = results
+        self.shared = shared
+        #: keys present in the source caches but not captured
+        #: (workspace pools by design, plus pickle-probe failures)
+        self.skipped = skipped
+        self.max_artifacts = max_artifacts
+        self.max_results = max_results
+
+    def restore(self):
+        """A new :class:`GraphCatalog` warmed with the captured state.
+
+        Shared-cache entries are re-inserted under the topology tokens
+        *this* process assigns to the snapshot's graphs (tokens never
+        survive a pickle, by design — see ``PlanarGraph.__getstate__``),
+        so the restored compiled CSR / labeling bags / cycle oracles are
+        found by every engine code path exactly as if they had been
+        built here.
+        """
+        catalog = GraphCatalog(max_artifacts=self.max_artifacts,
+                               max_results=self.max_results,
+                               planner=self.planner)
+        for name, graph in self.graphs.items():
+            catalog.register(name, graph)
+        remap = {old: topo_token(self.graphs[name])
+                 for name, old in self.tokens.items()}
+        cache = shared_cache()
+        for key, value in self.shared:
+            cache.put((key[0], remap[key[1]]) + tuple(key[2:]), value)
+        for key, value in self.artifacts:
+            catalog.artifacts.put(key, value)
+        for key, value in self.results:
+            catalog.results.put(key, value)
+        return catalog

@@ -80,6 +80,41 @@ class TestDirectedGirth:
                                 ledger=led)
         assert any("primal-labeling" in k for k in led.by_phase())
 
+    @pytest.mark.parametrize("seed", range(3))
+    def test_engine_labeling_backend_bit_identical(self, seed):
+        base = randomize_weights(random_planar(16 + seed, seed=seed),
+                                 low=1, high=50, seed=seed + 11)
+        g = bidirect(base, seed=seed)
+        legacy = directed_weighted_girth(g, leaf_size=12)
+        engine = directed_weighted_girth(g, leaf_size=12,
+                                         labeling_backend="engine")
+        assert (engine.value, engine.witness_edge) == \
+            (legacy.value, legacy.witness_edge)
+
+    def test_engine_labeling_backend_dag_returns_none(self):
+        g = randomize_weights(grid(3, 4), seed=1)
+        assert directed_weighted_girth(
+            g, leaf_size=10, labeling_backend="engine") is None
+
+    def test_engine_labeling_charges_no_labeling_rounds(self):
+        led = RoundLedger()
+        base = randomize_weights(random_planar(12, seed=2), seed=2)
+        directed_weighted_girth(bidirect(base, seed=2), leaf_size=10,
+                                ledger=led, labeling_backend="engine")
+        # the BDD build is backend-independent and stays audited; the
+        # labeling levels and the final aggregation are engine-side
+        # and must not be
+        phases = led.by_phase()
+        assert all(k.startswith("bdd/") for k in phases), phases
+
+    def test_labeling_backend_validation(self):
+        g = randomize_weights(grid(3, 4), seed=1)
+        with pytest.raises(ValueError, match="labeling backend"):
+            directed_weighted_girth(g, labeling_backend="fast")
+        with pytest.raises(ValueError, match="legacy"):
+            directed_weighted_girth(g, backend="engine",
+                                    labeling_backend="engine")
+
 
 class TestCentralizedBaselines:
     @pytest.mark.parametrize("seed", range(4))

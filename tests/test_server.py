@@ -1,0 +1,605 @@
+"""Tests for the repro.server subsystem (DESIGN.md §10): wire protocol
+round-trips, catalog snapshot handoff, the pre-warmed worker pool, and
+socket-server end-to-end bit-parity with in-process serving."""
+
+import math
+import os
+import pickle
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import max_st_flow
+from repro.errors import (
+    NegativeCycleError,
+    ProtocolError,
+    RemoteError,
+    ServiceError,
+)
+from repro.planar.generators import grid, randomize_weights, wheel
+from repro.server import (
+    PROTOCOL_VERSION,
+    QueryServer,
+    ServiceClient,
+    WarmWorkerPool,
+    serve,
+    wire,
+)
+from repro.service import (
+    CutQuery,
+    DistanceQuery,
+    FlowQuery,
+    GirthQuery,
+    GraphCatalog,
+    execute_query,
+)
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def make_grid(rows=4, cols=5, seed=3):
+    return randomize_weights(grid(rows, cols), seed=seed,
+                             directed_capacities=True)
+
+
+def mixed_queries(name, g):
+    nf = g.num_faces()
+    return [FlowQuery(name, 0, g.n - 1),
+            CutQuery(name, 0, g.n - 1),
+            GirthQuery(name),
+            DistanceQuery(name, 0, nf - 1),
+            DistanceQuery(name, 1, 2),
+            FlowQuery(name, 1, g.n - 2)]
+
+
+def reference_results(g, queries, name="g"):
+    catalog = GraphCatalog()
+    catalog.register(name, g.copy())
+    return [execute_query(catalog, q).result for q in queries]
+
+
+# ----------------------------------------------------------------------
+# wire protocol
+# ----------------------------------------------------------------------
+class TestWire:
+    @pytest.mark.parametrize("query", [
+        FlowQuery("g", 0, 7),
+        FlowQuery("g", 3, 4, directed=False, backend="legacy",
+                  validate=False, leaf_size=9),
+        CutQuery("g", 1, 2, leaf_size=4),
+        GirthQuery("g", backend="engine", num_trees=3),
+        DistanceQuery("g", 5, 6, backend="legacy"),
+    ])
+    def test_query_roundtrip(self, query):
+        payload = wire.decode_frame(
+            wire.encode_frame(wire.query_to_wire(query)))
+        assert wire.query_from_wire(payload) == query
+
+    def test_unknown_query_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            wire.query_from_wire({"kind": "mst", "graph": "g"})
+
+    def test_unexpected_query_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            wire.query_from_wire({"kind": "girth", "graph": "g",
+                                  "bogus": 1})
+
+    def test_result_roundtrip_all_served_types(self):
+        g = make_grid()
+        catalog = GraphCatalog()
+        catalog.register("g", g)
+        for q in mixed_queries("g", g):
+            result = execute_query(catalog, q).result
+            payload = wire.decode_frame(
+                wire.encode_frame(wire.result_to_wire(result)))
+            assert wire.result_from_wire(payload) == result
+
+    def test_result_roundtrip_scalars(self):
+        for value in (0, 7, 2.5, math.inf, None):
+            payload = wire.decode_frame(
+                wire.encode_frame(wire.result_to_wire(value)))
+            back = wire.result_from_wire(payload)
+            assert back == value and type(back) is type(value)
+
+    def test_flow_dict_keys_stay_ints(self):
+        g = make_grid()
+        res = max_st_flow(g, 0, g.n - 1, backend="engine")
+        back = wire.result_from_wire(wire.decode_frame(
+            wire.encode_frame(wire.result_to_wire(res))))
+        assert back == res
+        assert all(isinstance(k, int) for k in back.flow)
+
+    def test_graph_roundtrip(self):
+        g = make_grid(3, 4, seed=9)
+        back = wire.graph_from_wire(wire.decode_frame(
+            wire.encode_frame(wire.graph_to_wire(g))))
+        assert (back.n, back.edges, back.rotations, back.weights,
+                back.capacities) == (g.n, g.edges, g.rotations,
+                                     g.weights, g.capacities)
+
+    def test_bad_json_raises_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            wire.decode_frame(b"{not json")
+        with pytest.raises(ProtocolError):
+            wire.decode_frame(b"[1, 2]")
+
+    def test_version_check(self):
+        wire.check_version({"v": PROTOCOL_VERSION})
+        with pytest.raises(ProtocolError):
+            wire.check_version({"v": PROTOCOL_VERSION + 1})
+        with pytest.raises(ProtocolError):
+            wire.check_version({})
+
+    def test_exceptions_reconstruct_typed(self):
+        exc = wire.exception_from_wire(wire.exception_to_wire(
+            ServiceError("unknown graph 'x'")))
+        assert isinstance(exc, ServiceError)
+        assert "unknown graph 'x'" in str(exc)
+        neg = wire.exception_from_wire(wire.exception_to_wire(
+            NegativeCycleError("neg", where=5)))
+        assert isinstance(neg, NegativeCycleError) and neg.where == 5
+        alien = wire.exception_from_wire({"type": "SomethingElse",
+                                          "message": "boom"})
+        assert isinstance(alien, RemoteError)
+        assert alien.remote_type == "SomethingElse"
+
+
+# ----------------------------------------------------------------------
+# catalog snapshot handoff (the pre-fork warm-state capture)
+# ----------------------------------------------------------------------
+class TestCatalogSnapshot:
+    def test_artifacts_survive_pickle_bit_identically(self):
+        g = make_grid()
+        queries = mixed_queries("g", g)
+        catalog = GraphCatalog()
+        catalog.register("g", g)
+        expected = [execute_query(catalog, q).result for q in queries]
+        labeling = catalog.get("g").labeling()
+
+        restored = pickle.loads(
+            pickle.dumps(catalog.snapshot())).restore()
+        # every artifact answers bit-identically in the new "process"
+        got = [execute_query(restored, q).result for q in queries]
+        assert got == expected
+        # the Theorem 2.1 labels themselves round-tripped exactly
+        restored_labeling = restored.get("g").labeling()
+        nf = g.num_faces()
+        for f in range(0, nf, 3):
+            for h in range(0, nf, 2):
+                assert restored_labeling.distance(f, h) == \
+                    labeling.distance(f, h)
+
+    def test_shipped_artifacts_are_reused_not_rebuilt(self):
+        g = make_grid()
+        catalog = GraphCatalog()
+        catalog.register("g", g)
+        solver = catalog.get("g").flow_solver()
+        snap = pickle.loads(pickle.dumps(catalog.snapshot()))
+        restored = snap.restore()
+        # the flow-solver artifact key is fingerprint-stable across
+        # processes, so the restored catalog serves from the shipped
+        # solver instead of building a new one
+        misses_before = restored.artifacts.misses
+        restored_solver = restored.get("g").flow_solver()
+        assert restored.artifacts.misses == misses_before
+        assert restored_solver is not solver  # a pickled copy...
+        assert restored_solver.graph is restored.get("g").graph  # ...sharing the restored graph
+
+    def test_compiled_csr_rekeyed_into_shared_cache(self):
+        from repro.engine import compile_graph
+
+        g = make_grid()
+        catalog = GraphCatalog()
+        catalog.register("g", g)
+        compiled = catalog.get("g").compiled()
+        snap = pickle.loads(pickle.dumps(catalog.snapshot()))
+        restored = snap.restore()
+        # compile_graph on the restored graph must *hit* the re-keyed
+        # shared entry (same arrays), not recompile
+        again = compile_graph(restored.get("g").graph)
+        assert again is not compiled
+        assert list(again.prim_darts) == list(compiled.prim_darts)
+        assert again is compile_graph(restored.get("g").graph)
+
+    def test_workspace_pools_rebuilt_per_restore_not_shipped(self):
+        g = make_grid()
+        catalog = GraphCatalog()
+        catalog.register("g", g)
+        pool = catalog.get("g").flow_workspace_pool()
+        with pool.lease():
+            pass
+        snap = catalog.snapshot()
+        assert ("flow-pool", "g") in snap.skipped
+        assert all(key != ("flow-pool", "g") for key, _ in snap.artifacts)
+        restored = pickle.loads(pickle.dumps(snap)).restore()
+        fresh = restored.get("g").flow_workspace_pool()
+        assert fresh is not pool
+        assert fresh.created == 0  # rebuilt lazily, not inherited
+        with fresh.lease() as ws:
+            assert ws is not None
+
+    def test_memoized_results_ship_warm(self):
+        g = make_grid()
+        catalog = GraphCatalog()
+        catalog.register("g", g)
+        q = FlowQuery("g", 0, g.n - 1)
+        cold = execute_query(catalog, q)
+        assert cold.warm is False
+        restored = pickle.loads(
+            pickle.dumps(catalog.snapshot())).restore()
+        assert execute_query(restored, q).warm is True
+
+    def test_pickled_restore_is_isolated_from_source(self):
+        g = make_grid()
+        catalog = GraphCatalog()
+        catalog.register("g", g)
+        q = FlowQuery("g", 0, g.n - 1)
+        before = execute_query(catalog, q).result
+        restored = pickle.loads(
+            pickle.dumps(catalog.snapshot())).restore()
+        restored.set_weights("g", capacities=[c + 7 for c in
+                                              g.capacities])
+        changed = execute_query(restored, q).result
+        assert changed.value != before.value
+        # the source catalog's graph is untouched
+        assert execute_query(catalog, q).result == before
+
+
+# ----------------------------------------------------------------------
+# the pre-warmed worker pool
+# ----------------------------------------------------------------------
+class TestWarmWorkerPool:
+    def test_in_process_mode_parity(self):
+        g = make_grid()
+        queries = mixed_queries("g", g)
+        expected = reference_results(g, queries)
+        with WarmWorkerPool(workers=0) as pool:
+            pool.register("g", g)
+            report = pool.run(queries)
+        assert report.values() == expected
+
+    def test_forked_pool_parity_and_order(self):
+        g = make_grid()
+        queries = mixed_queries("g", g) * 3
+        expected = reference_results(g, queries[:6])
+        with WarmWorkerPool(workers=2) as pool:
+            pool.register("g", g)
+            pool.prewarm(kinds=("flow", "distance", "girth"))
+            report = pool.run(queries)
+            assert report.values() == expected * 3
+            # prewarmed artifacts mean no worker rebuilt the labeling:
+            # the distance queries are label decodes, microseconds
+            stats = pool.stats()
+        assert stats["by_kind"]["DistanceQuery"]["count"] == 6
+        assert len(stats["catalogs"]) == 2
+
+    def test_skewed_mix_uses_every_worker(self):
+        g1 = make_grid(4, 4, seed=1)
+        g2 = randomize_weights(wheel(9), seed=2,
+                               directed_capacities=True)
+        queries = [DistanceQuery("a", i % 5, (i + 2) % 5)
+                   for i in range(24)] + [GirthQuery("b")]
+        with WarmWorkerPool(workers=2) as pool:
+            pool.register("a", g1)
+            pool.register("b", g2)
+            pool.prewarm()
+            pool.run(queries)
+            occupancy = pool.stats(worker_catalogs=False)["occupancy"]
+        # one-shard-per-graph would have pinned 24 queries on one
+        # worker; the window dispatcher keeps both busy
+        assert all(row["completed"] > 0 for row in occupancy)
+        assert sum(row["completed"] for row in occupancy) == 25
+
+    def test_set_weights_propagates_to_workers(self):
+        g = make_grid()
+        q = FlowQuery("g", 0, g.n - 1)
+        new_caps = [c + 5 for c in g.capacities]
+        want_new = reference_results(g.copy(capacities=new_caps), [q])[0]
+        with WarmWorkerPool(workers=2) as pool:
+            pool.register("g", g)
+            pool.prewarm(kinds=("flow",))
+            old = pool.run([q] * 4).values()
+            pool.drain()
+            pool.set_weights("g", capacities=new_caps)
+            new = pool.run([q] * 4).values()
+        assert new[0].value == want_new.value != old[0].value
+        assert all(r == new[0] for r in new)
+
+    def test_set_weights_accepts_one_shot_iterables(self):
+        # a generator input must reach the master catalog AND the
+        # worker broadcast with the same values (regression: the
+        # broadcast used to re-consume the exhausted iterator)
+        g = make_grid()
+        q = FlowQuery("g", 0, g.n - 1)
+        new_caps = [c + 5 for c in g.capacities]
+        want = reference_results(g.copy(capacities=new_caps), [q])[0]
+        with WarmWorkerPool(workers=1) as pool:
+            pool.register("g", g)
+            pool.run([q])
+            pool.drain()
+            pool.set_weights("g", capacities=iter(new_caps))
+            got = pool.run([q]).values()[0]
+        assert got == want
+
+    def test_register_after_start_propagates(self):
+        g1 = make_grid(4, 4, seed=1)
+        g2 = make_grid(3, 4, seed=2)
+        q = FlowQuery("late", 0, g2.n - 1)
+        expected = reference_results(g2, [q], name="late")[0]
+        pool = WarmWorkerPool(workers=2)
+        pool.register("early", g1)
+        with pool:  # __enter__ forks the workers
+            pool.register("late", g2)
+            got = [f.result() for f in
+                   [pool.submit(q) for _ in range(4)]]
+        assert all(r.result == expected for r in got)
+
+    def test_worker_error_propagates_typed(self):
+        g = make_grid()
+        with WarmWorkerPool(workers=1) as pool:
+            pool.register("g", g)
+            with pytest.raises(ServiceError, match="unknown graph"):
+                pool.submit(FlowQuery("nope", 0, 1)).result()
+            # the worker survives the failed query
+            assert pool.run([GirthQuery("g")]).values()[0] is not None
+
+    def test_spawn_start_method_snapshot_handoff(self):
+        g = make_grid()
+        queries = mixed_queries("g", g)
+        expected = reference_results(g, queries)
+        with WarmWorkerPool(workers=1, start_method="spawn") as pool:
+            pool.register("g", g)
+            pool.prewarm()
+            report = pool.run(queries)
+        assert report.values() == expected
+
+    def test_lifecycle_errors(self):
+        pool = WarmWorkerPool(workers=0)
+        with pytest.raises(ServiceError, match="not started"):
+            pool.submit(GirthQuery("g"))
+        pool.start()
+        with pytest.raises(ServiceError, match="already started"):
+            pool.start()
+        with pytest.raises(ServiceError, match="unknown prewarm"):
+            pool.prewarm(kinds=("flow", "mst"))
+        pool.close()
+        with pytest.raises(ServiceError, match="closed"):
+            pool.submit(GirthQuery("g"))
+
+
+# ----------------------------------------------------------------------
+# socket server end-to-end
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="class")
+def served():
+    """A forked 2-worker pool behind a live TCP server, plus the graph
+    and a mirror catalog for bit-parity checks."""
+    g = make_grid()
+    pool = WarmWorkerPool(workers=2)
+    pool.register("g", g)
+    pool.prewarm(kinds=("flow", "distance", "girth"))
+    pool.start()
+    server = QueryServer(pool).start_background()
+    host, port = server.address
+    client = ServiceClient(host, port, timeout=60)
+    yield {"g": g, "server": server, "client": client,
+           "host": host, "port": port}
+    client.close()
+    server.shutdown()
+    pool.close()
+
+
+class TestServerEndToEnd:
+    def test_ping(self, served):
+        pong = served["client"].ping()
+        assert pong["pong"] is True
+        assert pong["version"] == PROTOCOL_VERSION
+
+    def test_mixed_batch_bit_parity_with_execute_query(self, served):
+        g = served["g"]
+        queries = mixed_queries("g", g)
+        expected = reference_results(g, queries)
+        report = served["client"].run(queries)
+        assert report.values() == expected
+        for r, q in zip(report.results, queries):
+            assert r.query == q and r.backend == "engine"
+
+    def test_single_query_roundtrip_each_kind(self, served):
+        g = served["g"]
+        for q in mixed_queries("g", g):
+            expected = reference_results(g, [q])[0]
+            assert served["client"].query(q).result == expected
+
+    def test_duplicate_queries_coalesced(self, served):
+        g = served["g"]
+        q = DistanceQuery("g", 0, 3)
+        report = served["client"].run([q] * 5 + [GirthQuery("g")])
+        assert len(report.results) == 6
+        first = report.results[0]
+        # duplicates were served once: they share the first
+        # occurrence's result object and count as warm hits with zero
+        # serve time — the same accounting run_batch's result cache
+        # would report
+        for i in range(1, 5):
+            dup = report.results[i]
+            assert dup.result is first.result
+            assert dup.warm is True and dup.seconds == 0.0
+        assert report.warm_hits >= 4
+        assert first.result == reference_results(g, [q])[0]
+
+    def test_distances_coalesce_one_roundtrip(self, served):
+        g = served["g"]
+        nf = g.num_faces()
+        pairs = [(f, h) for f in range(3) for h in range(nf - 3, nf)]
+        values = served["client"].distances("g", pairs)
+        labeling = GraphCatalog()
+        labeling.register("g", g.copy())
+        lab = labeling.get("g").labeling()
+        assert values == [lab.distance(f, h) for f, h in pairs]
+
+    def test_register_and_query_over_the_wire(self, served):
+        g2 = make_grid(3, 4, seed=21)
+        client = served["client"]
+        assert client.register("wire-g2", g2) == "wire-g2"
+        assert "wire-g2" in client.graphs()
+        q = FlowQuery("wire-g2", 0, g2.n - 1)
+        assert client.query(q).result == \
+            reference_results(g2, [q], name="wire-g2")[0]
+
+    def test_set_weights_over_the_wire(self, served):
+        g3 = make_grid(3, 4, seed=22)
+        client = served["client"]
+        client.register("wire-g3", g3)
+        q = FlowQuery("wire-g3", 0, g3.n - 1)
+        before = client.query(q).result
+        new_caps = [c + 9 for c in g3.capacities]
+        client.set_weights("wire-g3", capacities=new_caps)
+        after = client.query(q).result
+        want = reference_results(g3.copy(capacities=new_caps), [q],
+                                 name="wire-g3")[0]
+        assert after == want and after.value != before.value
+
+    def test_stats_verb(self, served):
+        stats = served["client"].stats()
+        assert stats["workers"] == 2
+        assert {row["worker"] for row in stats["occupancy"]} == {0, 1}
+        assert "FlowQuery" in stats["by_kind"]
+        assert stats["master"]["artifacts"]["hits"] >= 0
+        assert set(stats["catalogs"]) == {"0", "1"}  # JSON object keys
+
+    def test_unknown_graph_raises_service_error(self, served):
+        with pytest.raises(ServiceError, match="unknown graph"):
+            served["client"].query(FlowQuery("missing", 0, 1))
+
+    def test_protocol_errors_do_not_kill_connection(self, served):
+        with socket.create_connection((served["host"], served["port"]),
+                                      timeout=30) as sock:
+            f = sock.makefile("rwb")
+            # bad JSON -> typed error frame
+            f.write(b"this is not json\n")
+            f.flush()
+            frame = wire.decode_frame(f.readline())
+            assert frame["ok"] is False
+            assert frame["error"]["type"] == "ProtocolError"
+            # wrong version -> typed error frame
+            f.write(wire.encode_frame({"v": 99, "id": 1,
+                                       "verb": "ping"}))
+            f.flush()
+            frame = wire.decode_frame(f.readline())
+            assert frame["ok"] is False
+            assert "version" in frame["error"]["message"]
+            # unknown verb -> typed error frame
+            f.write(wire.encode_frame({"v": PROTOCOL_VERSION, "id": 2,
+                                       "verb": "teleport"}))
+            f.flush()
+            frame = wire.decode_frame(f.readline())
+            assert frame["ok"] is False and frame["id"] == 2
+            # and the connection still serves real queries
+            f.write(wire.encode_frame({
+                "v": PROTOCOL_VERSION, "id": 3, "verb": "query",
+                "query": wire.query_to_wire(GirthQuery("g"))}))
+            f.flush()
+            frame = wire.decode_frame(f.readline())
+            assert frame["ok"] is True
+
+    def test_client_reconnects_after_server_side_close(self, served):
+        client = ServiceClient(served["host"], served["port"],
+                               timeout=60)
+        assert client.ping()["pong"] is True
+        # simulate a dropped connection under the client
+        client._sock.close()
+        assert client.ping()["pong"] is True
+        client.close()
+
+
+def test_run_sharded_prewarm_signatures_per_graph_and_knob():
+    from repro.service.batch import _prewarm_queries
+
+    reps = _prewarm_queries([
+        DistanceQuery("a", 0, 1), DistanceQuery("a", 1, 2),
+        FlowQuery("b", 0, 9), FlowQuery("b", 3, 7),
+        FlowQuery("b", 0, 9, leaf_size=9),   # distinct artifact
+        CutQuery("b", 0, 9), GirthQuery("a")])
+    # one representative per artifact signature: graph b's flow pairs
+    # collapse to one, but the leaf_size variant keeps its own build,
+    # and graph b never pays graph a's labeling
+    assert reps == [DistanceQuery("a", 0, 1),
+                    FlowQuery("b", 0, 9),
+                    FlowQuery("b", 0, 9, leaf_size=9),
+                    CutQuery("b", 0, 9),
+                    GirthQuery("a")]
+
+
+def test_run_sharded_preserves_callers_shared_cache():
+    from repro._artifacts import shared_cache, topo_token
+    from repro.service import run_sharded
+
+    mine = make_grid(4, 4, seed=31)       # caller is already serving
+    fresh = make_grid(3, 4, seed=32)      # introduced by the call
+    max_st_flow(mine, 0, mine.n - 1, backend="engine")  # warm CSR
+    assert any(len(k) > 1 and k[1] == topo_token(mine)
+               for k in shared_cache().keys())
+    run_sharded({"mine": mine, "fresh": fresh},
+                [FlowQuery("mine", 0, mine.n - 1),
+                 FlowQuery("fresh", 0, fresh.n - 1)], max_workers=1)
+    keys = shared_cache().keys()
+    # the caller's warm artifacts survive; the call's own graph was
+    # swept so the parent process stays clean
+    assert any(len(k) > 1 and k[1] == topo_token(mine) for k in keys)
+    assert not any(len(k) > 1 and k[1] == topo_token(fresh)
+                   for k in keys)
+
+
+def test_serve_helper_builds_and_serves():
+    g = make_grid(3, 4, seed=5)
+    server = serve(graphs={"g": g}, workers=0, prewarm=("flow",))
+    try:
+        with ServiceClient(*server.address, timeout=60) as client:
+            q = FlowQuery("g", 0, g.n - 1)
+            assert client.query(q).result == \
+                reference_results(g, [q])[0]
+    finally:
+        server.shutdown()
+        server.pool.close()
+
+
+# ----------------------------------------------------------------------
+# CLI end-to-end (subprocess, as CI runs it — incl. no-numpy env)
+# ----------------------------------------------------------------------
+class TestServerCLI:
+    def test_subprocess_server_serves_mixed_batch(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.server", "--port", "0",
+             "--workers", "1", "--rows", "3", "--cols", "4",
+             "--seed", "5", "--prewarm", "flow,distance"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+            text=True)
+        try:
+            line = proc.stdout.readline()
+            assert "repro.server listening on" in line, line
+            addr = line.split("listening on ")[1].split(" ")[0]
+            host, port = addr.rsplit(":", 1)
+            g = randomize_weights(grid(3, 4), seed=5,
+                                  directed_capacities=True)
+            queries = mixed_queries("grid-3x4", g)
+            expected = reference_results(g, queries, name="grid-3x4")
+            deadline = time.monotonic() + 60
+            with ServiceClient(host, int(port), timeout=60) as client:
+                while True:
+                    try:
+                        client.ping()
+                        break
+                    except OSError:
+                        if time.monotonic() > deadline:
+                            raise
+                        time.sleep(0.1)
+                report = client.run(queries)
+            assert report.values() == expected
+        finally:
+            proc.terminate()
+            proc.wait(timeout=15)

@@ -526,8 +526,13 @@ def test_sharded_smoke_matches_sequential():
     for shard_r, seq_r in zip(sharded.results, sequential.results):
         assert shard_r.query == seq_r.query
         assert shard_r.result == seq_r.result
-    # the repeated g1 flow query is warm inside its shard
-    assert sharded.results[4].warm is True
+    # warm accounting is per worker catalog since the warm-pool
+    # rewrite: with one worker the repeated g1 flow query is a
+    # guaranteed result-cache hit (with more it depends on placement)
+    single = run_sharded(graphs, queries, max_workers=1)
+    assert single.results[4].warm is True
+    assert [r.result for r in single.results] == \
+        [r.result for r in sequential.results]
 
 
 def test_sharded_unknown_graph_raises():
