@@ -1,0 +1,46 @@
+"""Shared ``--json`` emitter for the benchmark scripts.
+
+Every ``benchmarks/bench_*.py`` script prints a human-readable table;
+CI additionally wants a machine-readable artifact it can upload and
+diff across runs.  ``add_json_arg`` registers the flag and
+``emit_json`` writes one self-describing report::
+
+    {"bench": "mutation", "ok": true, "rows": {...},
+     "python": "3.12.1", "platform": "...", "argv": [...],
+     "timestamp": "2026-08-07T12:00:00+0000"}
+
+``rows`` is whatever metric mapping the script measured (latencies in
+seconds, throughputs in q/s, speedup factors); ``ok`` mirrors the
+script's acceptance verdict so a gate can fail on the exit code *or*
+the artifact.
+"""
+
+import json
+import platform
+import sys
+import time
+
+
+def add_json_arg(ap):
+    """Register ``--json PATH`` on an ``argparse`` parser."""
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="also write the measurements as a JSON report")
+
+
+def emit_json(path, bench, rows, ok):
+    """Write the report to ``path`` (no-op when ``path`` is falsy)."""
+    if not path:
+        return
+    report = {
+        "bench": bench,
+        "ok": bool(ok),
+        "rows": rows,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "argv": sys.argv[1:],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"json report              : {path}")

@@ -1,0 +1,215 @@
+"""Mutation benchmark: delta reprice vs full labeling rebuild
+(DESIGN.md §11).
+
+Two modes:
+
+* under pytest (part of the benchmark suite): times a steady-state
+  ``mutate_weights`` round through the catalog — each round really
+  flips edge weights, so every iteration pays a genuine repair — and
+  audits bit-parity against a from-scratch rebuild inline;
+
+* as a script, the headline experiment of the incremental-repair
+  subsystem —
+
+      PYTHONPATH=src python benchmarks/bench_mutation.py \\
+          [--rows 64] [--cols 64] [--edges 8] [--json out.json]
+
+  measures, on a rows x cols grid at the default BDD leaf size:
+
+  1. **full rebuild** — the Theorem 2.1 labeling built from scratch,
+     which is what every ``set_weights`` reprice pays on the next
+     distance query;
+  2. **delta reprice** — ``mutate_weights`` of a contiguous run of
+     edge ids (a *localized* weight change — the congestion-update
+     shape incremental repair exists for): only the bags whose dual
+     contains a touched dart recompute, the rest of the labeling is
+     reused (p50/p99 over many rounds).  Scattering the same number
+     of edges across the whole grid instead dirties most of the bag
+     tree (every touched leaf drags in its ancestors) and correctly
+     falls back to a rebuild — pass ``--scatter`` to see that.
+
+  Acceptance: repricing <= ``--edges`` edges is >= 5x faster than the
+  full rebuild, and ``audit_labeling`` confirms the repaired labels
+  are *bit-identical* (values and Python types) to a fresh build.
+"""
+
+import argparse
+import random
+import time
+
+from _json_out import add_json_arg, emit_json
+
+from repro.planar.generators import grid, randomize_weights
+from repro.service import DistanceQuery, GraphCatalog
+
+
+# ----------------------------------------------------------------------
+# pytest mode
+# ----------------------------------------------------------------------
+def test_catalog_mutation_reprice(benchmark, instances):
+    """Steady-state few-edge reprice of a warm labeling."""
+    g = instances["grid-large"]
+    catalog = GraphCatalog()
+    catalog.register("g", g)
+    catalog.get("g").labeling(leaf_size=10)  # small leaf: multi-bag
+    base = list(g.weights)
+    eids = [0, 3, 11]
+
+    def reprice_round():
+        # flip between two weight sets so every iteration repairs
+        edges = {e: (base[e] + 1 if g.weights[e] == base[e]
+                     else base[e]) for e in eids}
+        return catalog.mutate_weights("g", edges)
+
+    report = benchmark(reprice_round)
+    assert report["changed_edges"] == len(eids)
+    rows = [r for r in report["labelings"] if r["leaf_size"] == 10]
+    assert rows and all(r["action"] == "repaired" for r in rows)
+    assert all(r["dirty_bags"] < r["total_bags"] for r in rows)
+    # the repaired labels must be bit-identical to a fresh build
+    audit = catalog.audit_labeling("g", leaf_size=10)
+    assert audit["error"] is None and audit["labels"] > 0
+    benchmark.extra_info.update(
+        {"edges": len(eids), "dirty_bags": rows[0]["dirty_bags"],
+         "total_bags": rows[0]["total_bags"]})
+
+
+# ----------------------------------------------------------------------
+# script mode
+# ----------------------------------------------------------------------
+def _percentile(sorted_vals, frac):
+    return sorted_vals[min(len(sorted_vals) - 1,
+                           int(frac * len(sorted_vals)))]
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rows", type=int, default=64)
+    ap.add_argument("--cols", type=int, default=64)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--leaf-size", type=int, default=None,
+                    help="BDD leaf size (default: paper's "
+                         "max(16, D log n))")
+    ap.add_argument("--edges", type=int, default=8,
+                    help="edges mutated per reprice round (a "
+                         "contiguous id run: one grid locality)")
+    ap.add_argument("--scatter", action="store_true",
+                    help="mutate random edges across the whole grid "
+                         "instead of one locality (expect the "
+                         "over-threshold rebuild fallback)")
+    ap.add_argument("--rounds", type=int, default=20,
+                    help="reprice rounds (p50/p99 over these)")
+    ap.add_argument("--rebuilds", type=int, default=3,
+                    help="full labeling builds for the baseline")
+    ap.add_argument("--min-speedup", type=float, default=5.0,
+                    help="acceptance: rebuild/reprice ratio")
+    ap.add_argument("--skip-audit", action="store_true",
+                    help="skip the final bit-parity audit (it pays "
+                         "one more from-scratch build)")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+
+    g = randomize_weights(grid(args.rows, args.cols), seed=args.seed,
+                          directed_capacities=True)
+    name = f"grid-{args.rows}x{args.cols}"
+    leaf = args.leaf_size
+    catalog = GraphCatalog()
+    entry = catalog.register(name, g)
+    print(f"instance: {args.rows}x{args.cols} grid, n={g.n}, m={g.m}, "
+          f"faces={g.num_faces()}, leaf_size="
+          f"{'default' if leaf is None else leaf}")
+
+    # -- 1. full-rebuild baseline: the cold build plus set_weights
+    #       teardown/rebuild cycles — what a reprice costs without §11
+    rebuild_s = []
+    t0 = time.perf_counter()
+    entry.labeling(leaf_size=leaf)
+    rebuild_s.append(time.perf_counter() - t0)
+    for _ in range(max(0, args.rebuilds - 1)):
+        catalog.set_weights(name, weights=[w + 1 for w in g.weights])
+        t0 = time.perf_counter()
+        entry.labeling(leaf_size=leaf)
+        rebuild_s.append(time.perf_counter() - t0)
+    rebuild_mean = sum(rebuild_s) / len(rebuild_s)
+    print(f"full rebuild             : {rebuild_mean * 1e3:8.1f} ms "
+          f"(mean of {len(rebuild_s)}; what set_weights pays on the "
+          f"next distance query)")
+
+    # -- 2. delta reprice: a localized edge run per round, repaired in
+    #       place — every round verified to have taken the repair path
+    rng = random.Random(args.seed)
+    reprice_s = []
+    dirty = total = 0
+    for _ in range(args.rounds):
+        if args.scatter:
+            eids = rng.sample(range(g.m), args.edges)
+        else:
+            anchor = rng.randrange(g.m - args.edges)
+            eids = range(anchor, anchor + args.edges)
+        edges = {e: g.weights[e] + rng.randint(1, 9) for e in eids}
+        t0 = time.perf_counter()
+        report = catalog.mutate_weights(name, edges)
+        reprice_s.append(time.perf_counter() - t0)
+        (row,) = report["labelings"]
+        if args.scatter and row["action"] == "rebuild":
+            print(f"scattered mutation over threshold "
+                  f"({row['dirty_bags']}/{row['total_bags']} bags "
+                  f"dirty): rebuild fallback — as designed")
+            entry.labeling(leaf_size=leaf)  # pay it, keep measuring
+            reprice_s.pop()
+            continue
+        assert row["action"] == "repaired", \
+            f"reprice fell back to a rebuild: {row}"
+        dirty, total = row["dirty_bags"], row["total_bags"]
+    if not reprice_s:
+        print("no round took the repair path; nothing to report")
+        return 1
+    reprice_s.sort()
+    reprice_mean = sum(reprice_s) / len(reprice_s)
+    p50 = _percentile(reprice_s, 0.50)
+    p99 = _percentile(reprice_s, 0.99)
+    print(f"delta reprice ({args.edges} edges)  : "
+          f"{reprice_mean * 1e3:8.1f} ms mean  "
+          f"p50={p50 * 1e3:.1f} ms  p99={p99 * 1e3:.1f} ms  "
+          f"({args.rounds} rounds, {dirty}/{total} bags dirty)")
+
+    # -- 3. the repaired labeling must still answer correctly: audit
+    #       against a from-scratch rebuild, bit for bit
+    audit_row = None
+    if not args.skip_audit:
+        audit = catalog.audit_labeling(name, leaf_size=leaf)
+        assert audit["error"] is None
+        audit_row = {"labels": audit["labels"],
+                     "entries": audit["entries"]}
+        print(f"bit-parity audit         : PASS ({audit['labels']} "
+              f"labels, {audit['entries']} entries)")
+        catalog.serve(DistanceQuery(name, 0, g.num_faces() - 1,
+                                    leaf_size=leaf))
+
+    speedup = rebuild_mean / reprice_mean
+    ok = speedup >= args.min_speedup
+    print(f"acceptance (reprice >= {args.min_speedup:g}x rebuild) : "
+          f"{'PASS' if ok else 'FAIL'} ({speedup:,.1f}x)")
+    emit_json(args.json, "mutation", {
+        "instance": {"rows": args.rows, "cols": args.cols, "n": g.n,
+                     "m": g.m, "leaf_size": leaf},
+        "edges_per_round": args.edges,
+        "rounds": args.rounds,
+        "rebuild_mean_s": rebuild_mean,
+        "rebuild_samples": len(rebuild_s),
+        "reprice_mean_s": reprice_mean,
+        "reprice_p50_s": p50,
+        "reprice_p99_s": p99,
+        "dirty_bags": dirty,
+        "total_bags": total,
+        "speedup": speedup,
+        "min_speedup": args.min_speedup,
+        "audit": audit_row,
+    }, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

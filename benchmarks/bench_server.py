@@ -37,6 +37,8 @@ import random
 import time
 import warnings
 
+from _json_out import add_json_arg, emit_json
+
 from repro.planar.generators import grid, randomize_weights
 from repro.server import WarmWorkerPool
 from repro.service import (
@@ -111,6 +113,7 @@ def main(argv=None):
     ap.add_argument("--cold-distance-samples", type=int, default=1,
                     help="fork-cold distance measurements (each pays a "
                          "full BDD + labeling build)")
+    add_json_arg(ap)
     args = ap.parse_args(argv)
 
     g = randomize_weights(grid(args.rows, args.cols), seed=args.seed,
@@ -187,6 +190,18 @@ def main(argv=None):
     ok = speedup >= 10.0
     print(f"acceptance (warm pool >= 10x fork-cold): "
           f"{'PASS' if ok else 'FAIL'} ({speedup:,.0f}x)")
+    emit_json(args.json, "server", {
+        "instance": {"rows": args.rows, "cols": args.cols, "n": g.n,
+                     "m": g.m},
+        "workers": args.workers,
+        "queries": len(queries),
+        "prewarm_s": prewarm_s,
+        "warm_pool_qps": warm_qps,
+        "fork_cold_flow_s": cold_flow_s,
+        "fork_cold_distance_s": cold_dist_s,
+        "fork_cold_qps": cold_qps,
+        "speedup": speedup,
+    }, ok)
     return 0 if ok else 1
 
 

@@ -39,6 +39,8 @@ import time
 
 import pytest
 
+from _json_out import add_json_arg, emit_json
+
 from repro.bdd import build_bdd
 from repro.core import flow_value_networkx, max_st_flow, weighted_girth
 from repro.labeling import DualDistanceLabeling
@@ -109,6 +111,7 @@ def main(argv=None):
                     help="distinct st-pairs for the artifact-reuse row")
     ap.add_argument("--distance-pairs", type=int, default=500,
                     help="distinct warm distance queries")
+    add_json_arg(ap)
     args = ap.parse_args(argv)
 
     g = randomize_weights(grid(args.rows, args.cols), seed=args.seed,
@@ -217,6 +220,18 @@ def main(argv=None):
           f"{'PASS' if ok_flow else 'FAIL'} ({flow_speedup:,.0f}x)")
     print(f"acceptance (distance warm/cold >= 100x) : "
           f"{'PASS' if ok_dist else 'FAIL'} ({dist_speedup:,.0f}x)")
+    emit_json(args.json, "service", {
+        "instance": {"rows": args.rows, "cols": args.cols, "n": g.n,
+                     "m": g.m},
+        "flow_cold_s": cold_s,
+        "flow_warm_repeated_s": warm_flow_s,
+        "flow_warm_distinct_s": distinct_s,
+        "flow_speedup": flow_speedup,
+        "distance_cold_legacy_s": cold_legacy_s,
+        "distance_cold_served_s": cold_dist_s,
+        "distance_warm_s": warm_dist_s,
+        "distance_speedup": dist_speedup,
+    }, ok_flow and ok_dist)
     return 0 if (ok_flow and ok_dist) else 1
 
 

@@ -6,7 +6,9 @@ a :class:`~repro.server.client.ServiceClient` at it, and run a mixed
 query batch — st-flows, st-cuts, girth, dual distances — in one
 round-trip.  Every answer is asserted bit-identical to in-process
 :func:`~repro.service.queries.execute_query`, so this doubles as the
-CI smoke for the whole wire path.
+CI smoke for the whole wire path.  The finale mutates a few edge
+weights live (``mutate_weights``, DESIGN.md §11) and audits the
+delta-repaired labeling against a from-scratch rebuild.
 
     PYTHONPATH=src python examples/network_serving.py [--rows 6 ...]
 """
@@ -107,6 +109,29 @@ def main(argv=None):
             for kind, row in stats["by_kind"].items():
                 print(f"  {kind:<14} count={row['count']:<4} "
                       f"warm={row['warm']}")
+
+            # 5. live weight mutation (DESIGN.md §11): delta-reprice
+            #    a few edges pool-wide, then audit the repaired
+            #    labeling bit-for-bit against a from-scratch rebuild
+            edges = {0: g.weights[0] + 5, 3: g.weights[3] + 2}
+            mreport = client.mutate_weights(name, edges)
+            print(f"mutate_weights({sorted(edges)}) -> "
+                  f"{mreport['changed_edges']} edges repriced, "
+                  f"{mreport['results_migrated']} results kept warm")
+            for eid, w in edges.items():
+                g.weights[eid] = w
+            q = DistanceQuery(name, 0, nf - 1)
+            fresh = GraphCatalog()
+            fresh.register(name, g)
+            assert client.query(q).result == \
+                execute_query(fresh, q).result, "stale after mutate"
+            audit = client.audit_labeling(name)
+            assert audit["master"]["error"] is None
+            assert all(rep["error"] is None
+                       for rep in audit["workers"].values())
+            print(f"audit_labeling: master + "
+                  f"{len(audit['workers'])} workers bit-identical "
+                  f"to a from-scratch rebuild")
     finally:
         proc.terminate()
         proc.wait(timeout=15)

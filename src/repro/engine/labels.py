@@ -47,6 +47,23 @@ order (levels deepest-first, bags in level order), every legacy raise
 site is replicated with the same message and ``where``, and the child
 SSSPs can never trip first — a negative cycle inside a child's dual
 would already have raised while that child was processed.
+
+**Delta repair** (DESIGN.md §11): a weight mutation touches one dual
+dart per edge, and the set of bags whose labels can depend on that
+dart's length — the bags whose dual contains the dart as an arc — is
+ancestor-closed (live darts nest upward, and ``sx_arc_darts ⊆
+arc_darts`` per :func:`repro.bdd.dual_bags.build_dual_bag`).  So a
+clean bag's whole subtree is clean and its labels are exactly what a
+full rebuild would produce.  :func:`repair_dual_labels_engine` walks
+the same level order recomputing only the dirty bags; inside a dirty
+internal bag it reuses the recorded anchored-SSSP matrices of clean
+children (the dominant per-bag cost) and skips re-labeling a clean
+child's nodes outright when that child's DDG boundary rows
+(``m_out`` / ``m_in``) come back unchanged.  Clean bags cannot raise
+(their inputs are unchanged and the previous build succeeded), and
+dirty bags run in the legacy order, so the first
+:class:`NegativeCycleError` — message and ``where`` — matches the
+full rebuild bit for bit.
 """
 
 from __future__ import annotations
@@ -302,6 +319,7 @@ class CompiledLabelingBags:
             duals = build_all_dual_bags(bdd)
         graph = bdd.graph
         root_id = bdd.root.bag_id
+        self.root_id = root_id
         self.slices = {}
         for bag in bdd.bags:
             if bag.bag_id == root_id and not bag.is_leaf:
@@ -321,6 +339,7 @@ class CompiledLabelingBags:
             (rec.num_parts for rec in self.internal.values()),
             default=0)
         self._ddg_ws = None
+        self._bags_of_dart = None
 
     @property
     def ddg_workspace(self):
@@ -329,6 +348,21 @@ class CompiledLabelingBags:
         if self._ddg_ws is None:
             self._ddg_ws = DijkstraWorkspace(max(self.max_parts, 1))
         return self._ddg_ws
+
+    @property
+    def bags_of_dart(self):
+        """global dart -> list of bag ids whose dual contains the dart
+        as an arc (built lazily on the first repair).  The non-leaf
+        root has no slice and is not listed — it has every dart live,
+        so :func:`dirty_bags` adds it unconditionally."""
+        if self._bags_of_dart is None:
+            bd = {}
+            for bag_id, sl in self.slices.items():
+                for gd in sl.dart_global:
+                    if gd >= 0:
+                        bd.setdefault(gd, []).append(bag_id)
+            self._bags_of_dart = bd
+        return self._bags_of_dart
 
 
 def compile_labeling_bags(bdd, duals=None):
@@ -347,23 +381,111 @@ def compile_labeling_bags(bdd, duals=None):
         key, lambda: CompiledLabelingBags(bdd, duals))
 
 
+class _InternalRepair:
+    """Weight-dependent repair state of one internal bag: the anchored
+    child SSSP matrices and the per-child DDG boundary rows of the last
+    successful build.  Lives on the *labeling* instance (per weight
+    vector), never inside the shared topology-only compilation."""
+
+    __slots__ = ("fwd", "back", "m_out", "m_in")
+
+    def __init__(self, num_children):
+        self.fwd = [None] * num_children
+        self.back = [None] * num_children
+        self.m_out = [None] * num_children
+        self.m_in = [None] * num_children
+
+
+#: marks a clean child whose node labels were verified unchanged and
+#: therefore skipped wholesale during a repair
+_REUSED = object()
+
+
 # ----------------------------------------------------------------------
 # builder
 # ----------------------------------------------------------------------
 def build_dual_labels_engine(labeling, compiled=None):
     """Fill ``labeling._labels`` with bit-identical Theorem 2.1 labels
-    using the compiled bag arrays (see the module docstring)."""
+    using the compiled bag arrays (see the module docstring).
+
+    When the labeling carries a repair-state dict
+    (``labeling._repair`` is not ``None`` — see
+    ``DualDistanceLabeling(repair_state=True)``), the per-bag child
+    SSSP matrices and DDG boundary rows are recorded as they are
+    computed, arming :func:`repair_dual_labels_engine`.
+    """
     if compiled is None:
         compiled = compile_labeling_bags(labeling.bdd, labeling.duals)
     lengths = labeling.lengths
     labels = labeling._labels
+    state = getattr(labeling, "_repair", None)
     for level in compiled.levels:
         for bag_id, is_leaf in level:
             if is_leaf:
                 _label_leaf(compiled, bag_id, lengths, labels)
             else:
-                _label_internal(compiled, bag_id, lengths, labels)
+                _label_internal(compiled, bag_id, lengths, labels,
+                                state=state)
     return labels
+
+
+def dirty_bags(compiled, darts):
+    """Bag ids whose labels may depend on the lengths of ``darts``.
+
+    A bag is dirty when its dual contains a changed dart as an arc;
+    the set is ancestor-closed because live darts nest upward (see the
+    module docstring).  The non-leaf root carries no slice but has
+    every dart live, so any real change dirties it.
+    """
+    bd = compiled.bags_of_dart
+    dirty = set()
+    for d in darts:
+        dirty.update(bd.get(d, ()))
+    if dirty or darts:
+        dirty.add(compiled.root_id)
+    return dirty
+
+
+def repair_dual_labels_engine(labeling, changed, compiled=None,
+                              dirty=None):
+    """Apply the dart-length ``changed`` mapping to ``labeling`` by
+    recomputing only the dirty bags, in the legacy level order.
+
+    Requires a labeling built with repair state (see
+    :func:`build_dual_labels_engine`).  Returns a stats dict.  On
+    :class:`NegativeCycleError` the raise site matches a full rebuild
+    bit for bit, but the labeling is left *corrupt* (partially
+    repriced) — the caller must discard it.
+    """
+    if compiled is None:
+        compiled = compile_labeling_bags(labeling.bdd, labeling.duals)
+    state = getattr(labeling, "_repair", None)
+    if state is None:
+        raise ValueError("labeling has no repair state; construct it "
+                         "with repair_state=True to enable "
+                         "delta repair")
+    if dirty is None:
+        dirty = dirty_bags(compiled, changed)
+    labeling.lengths.update(changed)
+    lengths = labeling.lengths
+    labels = labeling._labels
+    stats = {"changed_darts": len(changed),
+             "dirty_bags": len(dirty),
+             "total_bags": sum(len(lv) for lv in compiled.levels),
+             "repaired_leaves": 0, "repaired_internal": 0,
+             "sssp_children": 0, "reused_children": 0}
+    for level in compiled.levels:
+        for bag_id, is_leaf in level:
+            if bag_id not in dirty:
+                continue
+            if is_leaf:
+                _label_leaf(compiled, bag_id, lengths, labels)
+                stats["repaired_leaves"] += 1
+            else:
+                _label_internal(compiled, bag_id, lengths, labels,
+                                state=state, dirty=dirty, stats=stats)
+                stats["repaired_internal"] += 1
+    return stats
 
 
 def _label_leaf(compiled, bag_id, lengths, labels):
@@ -457,25 +579,49 @@ def _group_min(row, bounds):
     return best
 
 
-def _label_internal(compiled, bag_id, lengths, labels):
+def _label_internal(compiled, bag_id, lengths, labels, state=None,
+                    dirty=None, stats=None):
     from repro.labeling.labels import Label, LabelEntry
 
     rec = compiled.internal[bag_id]
     f_x = rec.f_x
     nfx = len(f_x)
+    repairing = dirty is not None
+    rep = None
+    if state is not None:
+        rep = state.get(bag_id)
+        if rep is None:
+            rep = _InternalRepair(len(rec.children))
+            state[bag_id] = rep
 
     # ---- child anchored SSSPs (forward + reverse per child) ----------
+    # A clean child's slice lengths are untouched, so its recorded
+    # matrices from the last build are exactly what a fresh SSSP would
+    # return — the dominant per-bag cost a repair skips.
     fwd = []     # fwd[ci][a][node] = d_c(cf[a] -> node)
     back = []    # back[ci][a][node] = d_c(node -> cf[a])
-    for child in rec.children:
-        sl = compiled.slices[child.bag_id]
-        if child.cf_local:
-            fwd.append(sl.batched_sssp(lengths, child.cf_local))
-            back.append(sl.batched_sssp(lengths, child.cf_local,
-                                        reverse=True))
-        else:
+    for ci, child in enumerate(rec.children):
+        if not child.cf_local:
             fwd.append(None)
             back.append(None)
+            continue
+        if repairing and child.bag_id not in dirty:
+            fwd.append(rep.fwd[ci])
+            back.append(rep.back[ci])
+            if stats is not None:
+                stats["reused_children"] += 1
+            continue
+        sl = compiled.slices[child.bag_id]
+        fwd.append(sl.batched_sssp(lengths, child.cf_local))
+        back.append(sl.batched_sssp(lengths, child.cf_local,
+                                    reverse=True))
+        if stats is not None:
+            stats["sssp_children"] += 1
+    old_m_out = rep.m_out if rep is not None else None
+    old_m_in = rep.m_in if rep is not None else None
+    if rep is not None:
+        rep.fwd = fwd
+        rep.back = back
 
     # ---- assemble the DDG arcs ---------------------------------------
     arcs = []
@@ -548,11 +694,19 @@ def _label_internal(compiled, bag_id, lengths, labels):
     d_out_c = []
     d_in_c = []
     viol_c = []
+    m_out_c = []
+    m_in_c = []
     for ci, child in enumerate(rec.children):
         if fwd[ci] is None:
-            d_out_c.append(None)
+            # no F_X face lives in this child: this bag's entries are
+            # all-inf regardless of weights, but the chained child
+            # entries still change when the child is dirty
+            keep = repairing and child.bag_id not in dirty
+            d_out_c.append(_REUSED if keep else None)
             d_in_c.append(None)
             viol_c.append(None)
+            m_out_c.append(None)
+            m_in_c.append(None)
             continue
         ncf = len(child.cf_local)
         # m_out[a][j] = min_{q in parts(f_x[j])} ddg[part(cf[a])][q]
@@ -570,6 +724,19 @@ def _label_internal(compiled, bag_id, lengths, labels):
                     if ddg[q][p] < best:
                         best = ddg[q][p]
                 m_in[a][j] = best
+        m_out_c.append(m_out)
+        m_in_c.append(m_in)
+        if (repairing and child.bag_id not in dirty
+                and old_m_out[ci] == m_out and old_m_in[ci] == m_in):
+            # clean child + unchanged boundary rows: every node label
+            # this child owns is a pure function of (fwd, back, m_out,
+            # m_in), all unchanged — keep the stored labels (they also
+            # passed the previous build's negative-cycle check, so a
+            # full rebuild could not raise at any of them)
+            d_out_c.append(_REUSED)
+            d_in_c.append(None)
+            viol_c.append(None)
+            continue
         if ddg_np is not None:
             x_out = _np.asarray(back[ci]).T    # node x a: d_c(node->cf[a])
             x_in = _np.asarray(fwd[ci]).T      # node x a: d_c(cf[a]->node)
@@ -619,6 +786,9 @@ def _label_internal(compiled, bag_id, lengths, labels):
         d_out_c.append(do)
         d_in_c.append(di)
         viol_c.append(viol)
+    if rep is not None:
+        rep.m_out = m_out_c
+        rep.m_in = m_in_c
 
     # ---- node labels in legacy (sorted) order ------------------------
     for ni, f in enumerate(rec.node_list):
@@ -631,6 +801,8 @@ def _label_internal(compiled, bag_id, lengths, labels):
         child = rec.children[pos]
         r = rec.owner_idx[ni]
         do = d_out_c[pos]
+        if do is _REUSED:
+            continue  # stored labels verified unchanged (see above)
         if do is None:
             # no F_X face lives in this child: all distances stay inf
             d_to = {h: INF for h in f_x}

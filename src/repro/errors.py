@@ -42,6 +42,16 @@ class ServiceError(ReproError):
     query (e.g. a backend the planner does not recognize)."""
 
 
+class AuditError(ServiceError):
+    """An integrity audit found a served artifact diverging from its
+    from-scratch rebuild (see ``GraphCatalog.audit_labeling``).
+    ``report`` carries the audit's findings when available."""
+
+    def __init__(self, message="audit divergence", report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class ProtocolError(ReproError):
     """A ``repro.server`` wire frame was malformed: bad JSON, a
     mismatched protocol version, an unknown verb, or an unknown

@@ -137,6 +137,21 @@ class QueryServer:
                                   weights=frame.get("weights"),
                                   capacities=frame.get("capacities"))
             out["repriced"] = name
+        elif verb == "mutate_weights":
+            name = frame.get("graph")
+            edges = frame.get("edges")
+            if not isinstance(edges, list):
+                raise ProtocolError("mutate_weights frame needs an "
+                                    "'edges' [[eid, weight], ...] list")
+            kwargs = {}
+            if frame.get("max_dirty_frac") is not None:
+                kwargs["max_dirty_frac"] = frame["max_dirty_frac"]
+            out["report"] = self.pool.mutate_weights(name, edges,
+                                                     **kwargs)
+        elif verb == "audit":
+            out["report"] = self.pool.audit_labeling(
+                frame.get("graph"), leaf_size=frame.get("leaf_size"),
+                backend=frame.get("backend", "engine"))
         elif verb == "stats":
             out["stats"] = self.pool.stats(
                 worker_catalogs=bool(frame.get("worker_catalogs", True)))

@@ -78,8 +78,11 @@ class ServiceClient:
     #: reset can arrive *after* the server executed the frame, and a
     #: resent register would fail as "already registered" (or worse,
     #: with overwrite=True, silently run twice)
+    #: ``mutate_weights`` is absolute (edge id -> new weight, not a
+    #: delta), so a resend after a reset is a value-identical no-op
     _RETRY_VERBS = frozenset(
-        {"query", "batch", "stats", "graphs", "ping", "set_weights"})
+        {"query", "batch", "stats", "graphs", "ping", "set_weights",
+         "mutate_weights", "audit"})
 
     def _call(self, verb, **payload):
         self.connect()
@@ -196,6 +199,31 @@ class ServiceClient:
         capacities = None if capacities is None else list(capacities)
         return self._call("set_weights", graph=name, weights=weights,
                           capacities=capacities)["repriced"]
+
+    def mutate_weights(self, name, edges, max_dirty_frac=None):
+        """Delta-reprice a few edges pool-wide (DESIGN.md §11):
+        cached labelings are repaired in place server-side instead of
+        rebuilt.  ``edges`` maps edge id -> new weight (or is an
+        iterable of pairs).  Returns the server's mutation report; a
+        negative dual cycle raises the same
+        :class:`~repro.errors.NegativeCycleError` (message and
+        ``where``) a local build would."""
+        items = edges.items() if hasattr(edges, "items") else edges
+        payload = {"graph": name,
+                   "edges": [[eid, w] for eid, w in items]}
+        if max_dirty_frac is not None:
+            payload["max_dirty_frac"] = max_dirty_frac
+        return self._call("mutate_weights", **payload)["report"]
+
+    def audit_labeling(self, name, leaf_size=None, backend="engine"):
+        """Debug verb: server-side bit-parity audit of ``name``'s
+        labeling — master catalog and every pool worker — against a
+        from-scratch rebuild (see :meth:`~repro.service.catalog.
+        GraphCatalog.audit_labeling`).  Raises
+        :class:`~repro.errors.AuditError` on divergence; returns the
+        reports otherwise."""
+        return self._call("audit", graph=name, leaf_size=leaf_size,
+                          backend=backend)["report"]
 
     def graphs(self):
         """Names registered on the server."""

@@ -26,11 +26,13 @@ Theorem 2.1 labeling before answering anything.  A
    not avoid.
 
 Consistency: each worker owns a private catalog copy, and commands
-(``register``, ``set_weights``) are broadcast to every worker's
-command queue, which is FIFO per worker — so a query submitted *after*
-:meth:`set_weights` returns always sees the new weights, while queries
-already in flight may complete under either weighting.  Call
-:meth:`drain` first for a barrier.
+(``register``, ``set_weights``, ``mutate_weights``) are broadcast to
+every worker's command queue, which is FIFO per worker — so a query
+submitted *after* :meth:`set_weights` / :meth:`mutate_weights` returns
+always sees the new weights, while queries already in flight may
+complete under either weighting.  Call :meth:`drain` first for a
+barrier; :meth:`audit_labeling` checks every worker's labels against a
+from-scratch rebuild.
 
 Failure containment: a query that raises inside a worker ships the
 exception back (typed, the original class when picklable) and fails
@@ -91,6 +93,26 @@ def _worker_main(worker_id, catalog, snapshot, command_q, result_q):
                                     capacities=capacities)
             except Exception:
                 pass
+        elif verb == "mutate_weights":
+            _, name, edges, max_dirty_frac = msg
+            try:
+                catalog.mutate_weights(name, edges,
+                                       max_dirty_frac=max_dirty_frac)
+            except Exception:
+                # same contract as set_weights: the master already
+                # validated; a NegativeCycleError here still applied
+                # the weights and dropped the labelings first, so the
+                # worker converges to the master's state
+                pass
+        elif verb == "audit":
+            _, job_id, name, leaf_size, backend = msg
+            try:
+                result_q.put((worker_id, job_id, True,
+                              catalog.audit_labeling(
+                                  name, leaf_size=leaf_size,
+                                  backend=backend)))
+            except Exception as exc:
+                result_q.put((worker_id, job_id, False, _ship_exc(exc)))
         elif verb == "stats":
             _, job_id = msg
             result_q.put((worker_id, job_id, True, catalog.stats()))
@@ -363,6 +385,68 @@ class WarmWorkerPool:
             self.catalog.set_weights(name, weights=weights,
                                      capacities=capacities)
         self._broadcast(("set_weights", name, weights, capacities))
+
+    def mutate_weights(self, name, edges, max_dirty_frac=0.5):
+        """Delta-reprice a few edges pool-wide (DESIGN.md §11):
+        :meth:`~repro.service.catalog.GraphCatalog.mutate_weights` on
+        the master catalog, then the same mutation broadcast to every
+        worker's FIFO command queue — a query submitted after this
+        returns can only see the new weights; call :meth:`drain` first
+        when in-flight queries must not straddle the reprice.
+
+        Returns the master catalog's report.  A
+        :class:`~repro.errors.NegativeCycleError` is re-raised after
+        the broadcast (the weights are applied everywhere and every
+        catalog dropped its labelings, exactly like the master)."""
+        from repro.errors import NegativeCycleError
+
+        # materialize first: master and broadcast must see the same
+        # values even when handed a one-shot iterable
+        edges = dict(edges) if hasattr(edges, "items") \
+            else [tuple(item) for item in edges]
+        with self._lock:  # serialize against in-process query serving
+            try:
+                report = self.catalog.mutate_weights(
+                    name, edges, max_dirty_frac=max_dirty_frac)
+            except NegativeCycleError:
+                self._broadcast(("mutate_weights", name, edges,
+                                 max_dirty_frac))
+                raise
+        self._broadcast(("mutate_weights", name, edges, max_dirty_frac))
+        return report
+
+    def audit_labeling(self, name, leaf_size=None, backend="engine",
+                       timeout=None):
+        """Run :meth:`~repro.service.catalog.GraphCatalog.
+        audit_labeling` on the master catalog *and* inside every live
+        worker (each audits its own serving catalog against a fresh
+        rebuild).  Raises the first :class:`~repro.errors.AuditError`
+        (or other failure) any catalog reports; otherwise returns
+        ``{"master": report, "workers": {wid: report}}``."""
+        with self._lock:
+            master = self.catalog.audit_labeling(name,
+                                                 leaf_size=leaf_size,
+                                                 backend=backend)
+        reports = {"master": master, "workers": {}}
+        if not self.workers or not self._started or self._closed:
+            return reports
+        futures = {}
+        with self._lock:
+            for wid in self._procs:
+                if wid in self._dead:
+                    continue
+                self._job_counter += 1
+                job_id = self._job_counter
+                fut = Future()
+                self._futures[job_id] = fut
+                self._assigned[job_id] = wid
+                self._job_kind[job_id] = "stats"  # accounting-free job
+                futures[wid] = fut
+                self._command_qs[wid].put(
+                    ("audit", job_id, name, leaf_size, backend))
+        for wid, fut in futures.items():
+            reports["workers"][wid] = fut.result(timeout=timeout)
+        return reports
 
     # ------------------------------------------------------------------
     # observability

@@ -11,10 +11,12 @@ response echoes both plus ``ok``:
     {"v": 1, "id": 8, "ok": false,
      "error": {"type": "ServiceError", "message": "unknown graph 'x'"}}
 
-Verbs: ``query``, ``batch``, ``register``, ``set_weights``, ``stats``,
-``graphs``, ``ping``.  Responses to failures are *typed error frames*:
-the server ships the exception class name (plus the ``where`` payload
-of a :class:`~repro.errors.NegativeCycleError`), and
+Verbs: ``query``, ``batch``, ``register``, ``set_weights``,
+``mutate_weights``, ``audit``, ``stats``, ``graphs``, ``ping``.
+Responses to failures are *typed error frames*: the server ships the
+exception class name (plus the ``where`` payload of a
+:class:`~repro.errors.NegativeCycleError` — tuples travel as JSON
+lists and come back as tuples), and
 :func:`exception_from_wire` re-raises the same class on the client when
 it is one of the library's error types or a common builtin — anything
 else surfaces as :class:`~repro.errors.RemoteError`.
@@ -248,8 +250,13 @@ def exception_to_wire(exc):
     """The ``error`` field of a failure response."""
     payload = {"type": type(exc).__name__, "message": str(exc)}
     where = getattr(exc, "where", None)
-    if where is not None and isinstance(where, (str, int, float)):
-        payload["where"] = where
+    if where is not None:
+        if isinstance(where, (str, int, float)):
+            payload["where"] = where
+        elif isinstance(where, (list, tuple)) and all(
+                isinstance(x, (str, int, float)) for x in where):
+            # the labeling raise sites are ("leaf"/"ddg"/"node", bag_id)
+            payload["where"] = list(where)
     return payload
 
 
@@ -277,7 +284,10 @@ def exception_from_wire(payload):
     message = payload.get("message", "remote failure")
     cls = _ERROR_TYPES.get(name)
     if cls is NegativeCycleError:
-        return cls(message, where=payload.get("where"))
+        where = payload.get("where")
+        if isinstance(where, list):
+            where = tuple(where)
+        return cls(message, where=where)
     if cls is not None:
         return cls(message)
     return RemoteError(message, remote_type=name)

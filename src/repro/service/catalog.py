@@ -27,6 +27,7 @@ Ownership and invalidation:
 
 from __future__ import annotations
 
+import math
 import pickle
 
 from repro._artifacts import (
@@ -36,7 +37,7 @@ from repro._artifacts import (
     shared_cache,
     topo_token,
 )
-from repro.errors import ServiceError
+from repro.errors import AuditError, NegativeCycleError, ServiceError
 
 
 def default_dual_lengths(graph):
@@ -188,7 +189,9 @@ class CatalogEntry:
                 duals_key, lambda: build_all_dual_bags(bdd))
             return DualDistanceLabeling(bdd,
                                         default_dual_lengths(self.graph),
-                                        duals=duals, backend=backend)
+                                        duals=duals, backend=backend,
+                                        repair_state=(backend
+                                                      == "engine"))
 
         return self.catalog.artifacts.get_or_build(key, build)
 
@@ -323,6 +326,198 @@ class GraphCatalog:
             g.capacities[:] = capacities
         return self.invalidate(name)
 
+    def mutate_weights(self, name, edges, max_dirty_frac=0.5):
+        """Reprice a few edges of a registered graph by *delta repair*
+        instead of the full :meth:`set_weights` teardown (DESIGN.md
+        §11).
+
+        ``edges`` maps edge id -> new weight (or is an iterable of
+        ``(eid, weight)`` pairs).  The graph's weights are mutated in
+        place; then, instead of invalidating, the catalog
+
+        * **repairs** every cached engine labeling of ``name`` in
+          place via :meth:`~repro.labeling.DualDistanceLabeling.
+          reprice` — only the bags whose dual contains a touched dart
+          are recomputed — and re-keys it under the new weight
+          fingerprint (falling back to *drop + rebuild on next query*
+          when the dirty set exceeds ``max_dirty_frac`` of the bags,
+          or when a labeling carries no repair state);
+        * **migrates** memoized flow/cut results to the new weight
+          hash (they read capacities, not weights — still warm) and
+          drops the weight-dependent distance/girth results;
+        * leaves capacity-keyed flow solvers and the topology-only
+          BDD / dual-bag / compiled-bag artifacts untouched.
+
+        Returns a JSON-safe report dict.  When the new weights create
+        a negative dual cycle, every labeling of ``name`` is dropped
+        and the :class:`~repro.errors.NegativeCycleError` of the
+        (bit-identical) detection site is re-raised — the weights stay
+        applied, exactly as a fresh build would find them.
+        """
+        entry = self.get(name)
+        g = entry.graph
+        updates = _edge_updates(name, g, edges)
+        old_fp = entry.fingerprint()
+        labelings = [(key, lab) for key, lab in self.artifacts.items()
+                     if key[0] == "labeling" and key[1] == name
+                     and key[2] == old_fp.weights]
+        changed = {}
+        for eid, w in updates.items():
+            if g.weights[eid] != w:
+                changed[2 * eid] = w
+            g.weights[eid] = w
+        new_fp = entry.fingerprint()
+        report = {"graph": name, "edges": len(updates),
+                  "changed_edges": len(changed),
+                  "results_migrated": 0, "results_dropped": 0,
+                  "labelings": []}
+        if new_fp.weights == old_fp.weights:
+            return report  # value-identical weights: nothing is stale
+        migrated, dropped = self._migrate_results(name, old_fp, new_fp)
+        report["results_migrated"] = migrated
+        report["results_dropped"] = dropped
+        entry.registered_fingerprint = new_fp
+        for key, lab in labelings:
+            self.artifacts.discard(key)
+            row = {"leaf_size": key[3], "backend": key[4]}
+            report["labelings"].append(row)
+            if key[4] != "engine" \
+                    or getattr(lab, "_repair", None) is None:
+                row["action"] = "dropped"
+                continue
+            try:
+                stats = lab.reprice(changed,
+                                    max_dirty_frac=max_dirty_frac)
+            except NegativeCycleError:
+                # the partial repair left ``lab`` corrupt, and a fresh
+                # build would raise the same error anyway: make every
+                # labeling of the name a rebuild
+                self.artifacts.invalidate(
+                    lambda k: k[0] == "labeling" and k[1] == name)
+                raise
+            if stats.pop("repaired"):
+                row["action"] = "repaired"
+                row.update(stats)
+                self.artifacts.put(
+                    ("labeling", name, new_fp.weights, key[3], key[4]),
+                    lab)
+            else:
+                row["action"] = "rebuild"  # over threshold: next query
+                row.update(stats)          # builds from scratch
+        return report
+
+    def _migrate_results(self, name, old_fp, new_fp):
+        """Move weight-independent memoized results of ``name`` to the
+        new weight hash; drop the weight-dependent ones."""
+        from repro.service.queries import CutQuery, FlowQuery
+
+        migrated = dropped = 0
+        for key, value in self.results.items():
+            if key[0] != "result" or key[1] != name \
+                    or key[4] != old_fp.weights \
+                    or key[5] != old_fp.capacities:
+                continue
+            self.results.discard(key)
+            if isinstance(key[2], (FlowQuery, CutQuery)):
+                self.results.put((key[0], key[1], key[2], key[3],
+                                  new_fp.weights, new_fp.capacities),
+                                 value)
+                migrated += 1
+            else:
+                dropped += 1
+        return migrated, dropped
+
+    # ------------------------------------------------------------------
+    # integrity audit
+    # ------------------------------------------------------------------
+    def audit_labeling(self, name, leaf_size=None, backend="engine",
+                       reference_backend=None):
+        """Bit-parity audit of the labeling served for ``name`` against
+        a from-scratch rebuild — the contract that makes
+        :meth:`mutate_weights` safe (DESIGN.md §11).
+
+        The served side goes through :meth:`CatalogEntry.labeling`
+        (cache hit or cold build); the reference side builds a *fresh*
+        BDD + dual bags + labeling from the graph's current weights on
+        ``reference_backend`` (default: same as ``backend``).  The two
+        must agree bit for bit: same label keys, same entry chains,
+        same distance values *and Python types* — or, when the weights
+        contain a negative dual cycle, the same
+        :class:`~repro.errors.NegativeCycleError` type, message and
+        ``where`` site.  Any divergence raises
+        :class:`~repro.errors.AuditError`; otherwise a JSON-safe
+        report dict is returned.
+        """
+        entry = self.get(name)
+        if reference_backend is None:
+            reference_backend = backend
+
+        served = served_err = None
+        try:
+            served = entry.labeling(leaf_size=leaf_size,
+                                    backend=backend)
+        except NegativeCycleError as e:
+            served_err = e
+
+        ref = ref_err = None
+        try:
+            from repro.bdd import build_bdd
+            from repro.bdd.dual_bags import build_all_dual_bags
+            from repro.labeling import DualDistanceLabeling
+
+            bdd = build_bdd(entry.graph, leaf_size=leaf_size)
+            ref = DualDistanceLabeling(
+                bdd, default_dual_lengths(entry.graph),
+                duals=build_all_dual_bags(bdd),
+                backend=reference_backend)
+        except NegativeCycleError as e:
+            ref_err = e
+
+        report = {"graph": name, "backend": backend,
+                  "reference_backend": reference_backend,
+                  "leaf_size": leaf_size, "labels": 0, "entries": 0,
+                  "error": None}
+
+        def fail(message):
+            report["divergence"] = message
+            raise AuditError(f"labeling audit of {name!r} diverged: "
+                             f"{message}", report=report)
+
+        if (served_err is None) != (ref_err is None):
+            got = served_err if served_err is not None else ref_err
+            side = "served" if served_err is not None else "reference"
+            fail(f"only the {side} build raised "
+                 f"{type(got).__name__}: {got} (where={got.where!r})")
+        if served_err is not None:
+            a = (type(served_err), str(served_err), served_err.where)
+            b = (type(ref_err), str(ref_err), ref_err.where)
+            if a != b:
+                fail(f"error sites differ: served {a!r} vs "
+                     f"reference {b!r}")
+            report["error"] = {"type": type(served_err).__name__,
+                               "message": str(served_err),
+                               "where": list(served_err.where)
+                               if isinstance(served_err.where, tuple)
+                               else served_err.where}
+            return report
+
+        # a stale lengths map would *serve* wrong distances even with
+        # internally consistent labels — check it against the graph
+        expected = default_dual_lengths(entry.graph)
+        if served.lengths != expected:
+            bad = sorted(d for d in expected
+                         if served.lengths.get(d) != expected[d])[:5]
+            fail(f"served labeling lengths disagree with the graph's "
+                 f"current weights at darts {bad}")
+
+        mismatch = _label_divergence(served._labels, ref._labels)
+        if mismatch is not None:
+            fail(mismatch)
+        report["labels"] = len(served._labels)
+        report["entries"] = sum(len(lbl.entries)
+                                for lbl in served._labels.values())
+        return report
+
     # ------------------------------------------------------------------
     # serving
     # ------------------------------------------------------------------
@@ -407,6 +602,68 @@ class GraphCatalog:
             max_artifacts=self.artifacts.maxsize,
             max_results=self.results.maxsize,
         )
+
+
+def _edge_updates(name, graph, edges):
+    """Validate a ``mutate_weights`` edge mapping -> {eid: weight}."""
+    items = edges.items() if hasattr(edges, "items") else edges
+    updates = {}
+    for item in items:
+        try:
+            eid, w = item
+        except (TypeError, ValueError):
+            raise ServiceError(
+                f"mutate_weights({name!r}) edges must map edge id -> "
+                f"weight (or be (eid, weight) pairs); got {item!r}")
+        if not isinstance(eid, int) or isinstance(eid, bool) \
+                or not 0 <= eid < graph.m:
+            raise ServiceError(
+                f"mutate_weights({name!r}): bad edge id {eid!r} "
+                f"(graph has m={graph.m})")
+        if isinstance(w, bool) or not isinstance(w, (int, float)) \
+                or not math.isfinite(w):
+            raise ServiceError(
+                f"mutate_weights({name!r}): edge {eid} weight must be "
+                f"a finite number, got {w!r}")
+        updates[eid] = w
+    return updates
+
+
+def _label_divergence(served, reference):
+    """First bit-level difference between two label dicts, or None.
+
+    "Bit-level" means values must compare equal *and* share a Python
+    type — ``5`` vs ``5.0`` is a divergence, because a serialized or
+    hashed label would differ.
+    """
+    if set(served) != set(reference):
+        extra = sorted(set(served) - set(reference))[:3]
+        missing = sorted(set(reference) - set(served))[:3]
+        return (f"label key sets differ (extra={extra}, "
+                f"missing={missing})")
+    for key in served:
+        a, b = served[key], reference[key]
+        if a.node != b.node or len(a.entries) != len(b.entries):
+            return (f"label chain at {key} differs: node {a.node} vs "
+                    f"{b.node}, {len(a.entries)} vs {len(b.entries)} "
+                    f"entries")
+        for ea, eb in zip(a.entries, b.entries):
+            if (ea.bag_id, ea.node, ea.is_leaf) \
+                    != (eb.bag_id, eb.node, eb.is_leaf):
+                return f"entry identity at {key} differs"
+            for attr in ("dist_to", "dist_from"):
+                da, db = getattr(ea, attr), getattr(eb, attr)
+                if set(da) != set(db):
+                    return (f"{attr} key set at {key} entry bag "
+                            f"{ea.bag_id} differs")
+                for h, va in da.items():
+                    vb = db[h]
+                    if va != vb or type(va) is not type(vb):
+                        return (f"{attr}[{h}] at {key} entry bag "
+                                f"{ea.bag_id}: served {va!r} "
+                                f"({type(va).__name__}) vs reference "
+                                f"{vb!r} ({type(vb).__name__})")
+    return None
 
 
 def _picklable(value):

@@ -1,0 +1,336 @@
+"""Property-based audit of incremental label repair (DESIGN.md §11):
+random sequences of ``mutate_weights`` / ``set_weights`` / query calls
+must leave the catalog's delta-repaired Theorem 2.1 labeling
+*bit-identical* to a fresh-catalog full rebuild after every step —
+same label chains, same decoded distances (values AND Python types),
+and the same ``NegativeCycleError`` message/``where`` site when the
+mutated weights contain a negative dual cycle.
+
+Every test pins a small ``leaf_size``: at the default
+:func:`~repro.bdd.build.default_leaf_size` these graphs compile to a
+single bag, where ``mutate_weights`` always falls back to a rebuild
+and the repair path would never execute.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import build_bdd
+from repro.errors import AuditError, NegativeCycleError, ServiceError
+from repro.labeling import DualDistanceLabeling
+from repro.planar.generators import (
+    cylinder,
+    grid,
+    random_planar,
+    randomize_weights,
+)
+from repro.service import DistanceQuery, FlowQuery, GraphCatalog
+from repro.service.catalog import default_dual_lengths
+
+#: small leaf => multi-bag BDDs, so the delta-repair path actually runs
+LEAF = 8
+
+#: the graph families of the mutation audit: square and skewed grids,
+#: a graph with genus-like structure (cylinder), and irregular random
+#: planar triangulation remnants
+FAMILIES = {
+    "grid": lambda: grid(6, 6),
+    "wide-grid": lambda: grid(3, 12),
+    "cylinder": lambda: cylinder(3, 8),
+    "random-planar": lambda: random_planar(40, seed=5),
+}
+
+
+def make_family(name, seed=11):
+    return randomize_weights(FAMILIES[name](), seed=seed,
+                             directed_capacities=True)
+
+
+def mixed_lengths(g, seed=0):
+    """Negative lengths without negative cycles (potential shifts)."""
+    rng = random.Random(seed)
+    base = {d: rng.randint(1, 10) for d in g.darts()}
+    phi = {f: rng.randint(-8, 8) for f in range(g.num_faces())}
+    return (base, phi,
+            {d: base[d] + phi[g.face_of[d]] - phi[g.face_of[d ^ 1]]
+             for d in g.darts()})
+
+
+def assert_bit_parity(cat, name, g, pairs, leaf_size=LEAF):
+    """The served labeling must match a fresh-catalog rebuild bit for
+    bit: ``audit_labeling`` compares the label chains (values and
+    types), and the decoded distances must agree the same way."""
+    report = cat.audit_labeling(name, leaf_size=leaf_size)
+    assert report["error"] is None and report["labels"] > 0
+    fresh = GraphCatalog()
+    fresh.register(name, g.copy())
+    for f, h in pairs:
+        q = DistanceQuery(name, f, h, leaf_size=leaf_size)
+        a = cat.serve(q).result
+        b = fresh.serve(q).result
+        assert a == b and type(a) is type(b)
+
+
+# ----------------------------------------------------------------------
+# hypothesis: random mutate/set_weights/query sequences, audited
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@settings(max_examples=5, deadline=None)
+@given(data=st.data())
+def test_random_mutation_sequences_bit_parity(family, data):
+    g = make_family(family)
+    cat = GraphCatalog()
+    cat.register("g", g)
+    cat.get("g").labeling(leaf_size=LEAF)  # warm: repair has a target
+    nf = g.num_faces()
+    pair_st = st.tuples(st.integers(0, nf - 1), st.integers(0, nf - 1))
+    for _ in range(data.draw(st.integers(2, 4), label="steps")):
+        op = data.draw(st.sampled_from(
+            ["mutate", "mutate", "set_weights", "query"]), label="op")
+        if op == "mutate":
+            eids = data.draw(st.lists(st.integers(0, g.m - 1),
+                                      min_size=1, max_size=4,
+                                      unique=True), label="eids")
+            edges = {eid: data.draw(st.integers(1, 30),
+                                    label=f"w[{eid}]")
+                     for eid in eids}
+            report = cat.mutate_weights("g", edges)
+            assert all(g.weights[eid] == w for eid, w in edges.items())
+            for row in report["labelings"]:
+                assert row["action"] in ("repaired", "rebuild",
+                                         "dropped")
+        elif op == "set_weights":
+            rng = random.Random(data.draw(st.integers(0, 10 ** 6),
+                                          label="reseed"))
+            cat.set_weights("g", weights=[rng.randint(1, 25)
+                                          for _ in range(g.m)])
+        else:
+            f, h = data.draw(pair_st, label="pair")
+            cat.serve(DistanceQuery("g", f, h, leaf_size=LEAF))
+        pairs = data.draw(st.lists(pair_st, min_size=2, max_size=4),
+                          label="audit pairs")
+        assert_bit_parity(cat, "g", g, pairs)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10 ** 6))
+def test_negative_length_reprice_bit_parity(seed):
+    """Negative lengths family (labeling level, where the length map
+    is free): potential-shifted negatives stay cycle-free, and a
+    sequence of reprices — single-dart base changes and whole-face
+    potential bumps — stays bit-identical to from-scratch builds."""
+    rng = random.Random(seed)
+    g = random_planar(30 + seed % 15, seed=seed % 23)
+    base, phi, lengths = mixed_lengths(g, seed=seed)
+    assert any(v < 0 for v in lengths.values())
+    bdd = build_bdd(g, leaf_size=8 + seed % 5)
+    lab = DualDistanceLabeling(bdd, dict(lengths), backend="engine",
+                               repair_state=True)
+    for _ in range(3):
+        changes = {}
+        if rng.random() < 0.5:  # re-draw one dart's base length
+            d = rng.randrange(2 * g.m)
+            base[d] = rng.randint(1, 10)
+            changes[d] = (base[d] + phi[g.face_of[d]]
+                          - phi[g.face_of[d ^ 1]])
+        else:  # bump one face potential: touches every incident dart
+            f = rng.randrange(g.num_faces())
+            phi[f] += rng.choice([-3, -1, 1, 3])
+            for d in g.darts():
+                if g.face_of[d] == f or g.face_of[d ^ 1] == f:
+                    changes[d] = (base[d] + phi[g.face_of[d]]
+                                  - phi[g.face_of[d ^ 1]])
+        lengths.update(changes)
+        stats = lab.reprice(changes)
+        assert stats["repaired"] is True
+        ref = DualDistanceLabeling(bdd, dict(lengths),
+                                   backend="engine")
+        assert lab._labels == ref._labels
+        for (bag, f), lbl in lab._labels.items():
+            for ea, eb in zip(lbl.entries,
+                              ref._labels[(bag, f)].entries):
+                for attr in ("dist_to", "dist_from"):
+                    da, db = getattr(ea, attr), getattr(eb, attr)
+                    assert all(type(da[h]) is type(db[h]) for h in da)
+
+
+# ----------------------------------------------------------------------
+# negative-cycle sites family: mutation raises exactly like a rebuild
+# ----------------------------------------------------------------------
+class TestNegativeCycleSites:
+    def raise_site(self, fn):
+        try:
+            fn()
+        except NegativeCycleError as e:
+            return (str(e), e.where)
+        return None
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_mutation_raises_at_rebuild_site(self, family):
+        g = make_family(family, seed=7)
+        cat = GraphCatalog()
+        cat.register("g", g)
+        cat.get("g").labeling(leaf_size=LEAF)
+        # any negative weight is a negative dual cycle (the two-dart
+        # cycle through the edge costs w + 0), so mutation must raise
+        edges = {2: -4, 5: g.weights[5] + 1}
+        got = self.raise_site(
+            lambda: cat.mutate_weights("g", edges))
+        assert got is not None
+        # ... with the weights applied and every labeling dropped
+        assert g.weights[2] == -4 and g.weights[5] == edges[5]
+        assert not any(k[0] == "labeling" and k[1] == "g"
+                       for k, _ in cat.artifacts.items())
+        fresh = GraphCatalog()
+        fresh.register("g", g.copy())
+        want = self.raise_site(
+            lambda: fresh.get("g").labeling(leaf_size=LEAF))
+        assert got == want
+        # both sides of the audit raise identically -> report, not
+        # AuditError, and the error site is recorded
+        report = cat.audit_labeling("g", leaf_size=LEAF)
+        assert report["error"]["type"] == "NegativeCycleError"
+        assert report["error"]["message"] == want[0]
+
+    def test_recovery_after_cycle(self):
+        g = make_family("grid", seed=9)
+        cat = GraphCatalog()
+        cat.register("g", g)
+        cat.get("g").labeling(leaf_size=LEAF)
+        with pytest.raises(NegativeCycleError):
+            cat.mutate_weights("g", {0: -9})
+        cat.mutate_weights("g", {0: 9})  # no labeling left: just mutates
+        nf = g.num_faces()
+        assert_bit_parity(cat, "g", g, [(0, nf - 1), (1, 2)])
+
+
+# ----------------------------------------------------------------------
+# the repair must actually be a delta (not a disguised rebuild)
+# ----------------------------------------------------------------------
+class TestDeltaRepair:
+    def test_small_mutation_repairs_few_bags(self):
+        g = make_family("grid")
+        cat = GraphCatalog()
+        cat.register("g", g)
+        lab = cat.get("g").labeling(leaf_size=LEAF)
+        report = cat.mutate_weights("g", {3: g.weights[3] + 5})
+        (row,) = report["labelings"]
+        assert row["action"] == "repaired"
+        assert 0 < row["dirty_bags"] < row["total_bags"]
+        assert row["reused_children"] >= 0
+        # repaired in place and re-keyed: same object, still cached
+        assert cat.get("g").labeling(leaf_size=LEAF) is lab
+
+    def test_flow_results_stay_warm_distance_results_drop(self):
+        g = make_family("grid")
+        cat = GraphCatalog()
+        cat.register("g", g)
+        cat.get("g").labeling(leaf_size=LEAF)
+        fq = FlowQuery("g", 0, g.n - 1)
+        dq = DistanceQuery("g", 0, 3, leaf_size=LEAF)
+        cat.serve(fq), cat.serve(dq)
+        report = cat.mutate_weights("g", {1: g.weights[1] + 2})
+        assert report["results_migrated"] >= 1
+        assert report["results_dropped"] >= 1
+        assert cat.serve(fq).warm is True  # capacities untouched
+        assert cat.serve(dq).warm is False  # weights changed
+
+    def test_over_threshold_falls_back_to_rebuild(self):
+        g = make_family("grid")
+        cat = GraphCatalog()
+        cat.register("g", g)
+        cat.get("g").labeling(leaf_size=LEAF)
+        report = cat.mutate_weights("g", {0: g.weights[0] + 1},
+                                    max_dirty_frac=0.0)
+        (row,) = report["labelings"]
+        assert row["action"] == "rebuild"
+        nf = g.num_faces()
+        assert_bit_parity(cat, "g", g, [(0, nf - 1)])  # cold rebuild
+
+    def test_value_identical_mutation_is_a_no_op(self):
+        g = make_family("grid")
+        cat = GraphCatalog()
+        cat.register("g", g)
+        lab = cat.get("g").labeling(leaf_size=LEAF)
+        report = cat.mutate_weights("g", {0: g.weights[0],
+                                          4: g.weights[4]})
+        assert report["changed_edges"] == 0
+        assert report["labelings"] == []
+        assert cat.get("g").labeling(leaf_size=LEAF) is lab
+
+    def test_audit_catches_corruption(self):
+        g = make_family("grid")
+        cat = GraphCatalog()
+        cat.register("g", g)
+        lab = cat.get("g").labeling(leaf_size=LEAF)
+        cat.audit_labeling("g", leaf_size=LEAF)  # clean
+        # corrupt one stored distance behind the catalog's back
+        key = sorted(lab._labels)[0]
+        entry = lab._labels[key].entries[0]
+        h = sorted(entry.dist_to)[0]
+        entry.dist_to[h] += 1
+        with pytest.raises(AuditError) as info:
+            cat.audit_labeling("g", leaf_size=LEAF)
+        assert info.value.report["divergence"]
+        entry.dist_to[h] -= 1
+
+    def test_audit_catches_stale_lengths(self):
+        # (an out-of-band *graph* mutation is already stale-proof: the
+        # fingerprint-keyed lookup misses and audit sees a fresh
+        # build — what audit must catch is a labeling whose internal
+        # length map disagrees with the graph it serves)
+        g = make_family("grid")
+        cat = GraphCatalog()
+        cat.register("g", g)
+        lab = cat.get("g").labeling(leaf_size=LEAF)
+        lab.lengths[0] += 3
+        with pytest.raises(AuditError, match="lengths"):
+            cat.audit_labeling("g", leaf_size=LEAF)
+        lab.lengths[0] -= 3
+        assert lab.lengths == default_dual_lengths(g)
+        cat.audit_labeling("g", leaf_size=LEAF)
+
+
+# ----------------------------------------------------------------------
+# input validation and misuse guards
+# ----------------------------------------------------------------------
+class TestValidation:
+    def setup_method(self):
+        self.g = make_family("grid")
+        self.cat = GraphCatalog()
+        self.cat.register("g", self.g)
+
+    def test_unknown_graph(self):
+        with pytest.raises(ServiceError, match="unknown graph"):
+            self.cat.mutate_weights("nope", {0: 1})
+        with pytest.raises(ServiceError, match="unknown graph"):
+            self.cat.audit_labeling("nope")
+
+    @pytest.mark.parametrize("edges", [
+        {-1: 5}, {10 ** 9: 5}, {"0": 5}, {True: 5},
+        {0: float("inf")}, {0: float("nan")}, {0: True}, {0: "7"},
+        [(0,)], [(0, 1, 2)], [3],
+    ])
+    def test_bad_edges_rejected_before_mutation(self, edges):
+        before = list(self.g.weights)
+        with pytest.raises(ServiceError, match="mutate_weights"):
+            self.cat.mutate_weights("g", edges)
+        assert self.g.weights == before
+
+    def test_pair_iterable_accepted(self):
+        report = self.cat.mutate_weights(
+            "g", [(0, self.g.weights[0] + 1), (1, 2.5)])
+        assert report["changed_edges"] == 2
+        assert self.g.weights[1] == 2.5
+
+    def test_reprice_requires_repair_state(self):
+        bdd = build_bdd(self.g, leaf_size=LEAF)
+        lab = DualDistanceLabeling(
+            bdd, default_dual_lengths(self.g), backend="engine")
+        with pytest.raises(ValueError, match="repair_state"):
+            lab.reprice({0: 99})
+        with pytest.raises(ValueError, match="repair_state"):
+            DualDistanceLabeling(bdd, default_dual_lengths(self.g),
+                                 repair_state=True)  # legacy backend

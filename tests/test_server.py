@@ -324,6 +324,56 @@ class TestWarmWorkerPool:
             got = pool.run([q]).values()[0]
         assert got == want
 
+    def test_mutate_weights_no_stale_distances_in_skewed_pool(self):
+        # a distance-heavy skew spreads warm labelings across both
+        # workers; the mutate broadcast must leave *neither* serving
+        # stale labels (leaf_size pinned small so the workers repair
+        # rather than rebuild)
+        g = make_grid(5, 6, seed=13)
+        nf = g.num_faces()
+        queries = [DistanceQuery("g", i % nf, (i * 7 + 3) % nf,
+                                 leaf_size=10) for i in range(24)]
+        edges = {0: g.weights[0] + 11, 7: g.weights[7] + 5}
+        with WarmWorkerPool(workers=2) as pool:
+            pool.register("g", g)
+            pool.run(queries)          # both workers build labelings
+            pool.drain()               # in-flight barrier
+            report = pool.mutate_weights("g", edges)
+            new = pool.run(queries).values()
+            occupancy = pool.stats(worker_catalogs=False)["occupancy"]
+        assert report["changed_edges"] == 2
+        assert g.weights[0] == edges[0]  # master graph repriced
+        assert all(row["completed"] > 0 for row in occupancy)
+        assert new == reference_results(g, queries)
+
+    def test_mutate_weights_in_process_mode(self):
+        g = make_grid()
+        q = DistanceQuery("g", 0, 4, leaf_size=10)
+        with WarmWorkerPool(workers=0) as pool:
+            pool.register("g", g)
+            pool.run([q])
+            report = pool.mutate_weights("g", {2: g.weights[2] + 9})
+            got = pool.run([q]).values()[0]
+            audit = pool.audit_labeling("g", leaf_size=10)
+        assert any(row["action"] == "repaired"
+                   for row in report["labelings"])
+        assert got == reference_results(g, [q])[0]
+        assert audit["master"]["error"] is None
+        assert audit["workers"] == {}
+
+    def test_audit_labeling_covers_every_worker(self):
+        g = make_grid()
+        with WarmWorkerPool(workers=2) as pool:
+            pool.register("g", g)
+            pool.run([DistanceQuery("g", 0, 4, leaf_size=10)] * 4)
+            pool.drain()
+            pool.mutate_weights("g", {1: g.weights[1] + 3})
+            audit = pool.audit_labeling("g", leaf_size=10)
+        assert audit["master"]["error"] is None
+        assert set(audit["workers"]) == {0, 1}
+        assert all(rep["error"] is None and rep["labels"] > 0
+                   for rep in audit["workers"].values())
+
     def test_register_after_start_propagates(self):
         g1 = make_grid(4, 4, seed=1)
         g2 = make_grid(3, 4, seed=2)
@@ -462,6 +512,84 @@ class TestServerEndToEnd:
                                  name="wire-g3")[0]
         assert after == want and after.value != before.value
 
+    def test_mutate_weights_over_the_wire(self, served):
+        g4 = make_grid(5, 6, seed=23)
+        client = served["client"]
+        client.register("wire-g4", g4)
+        q = DistanceQuery("wire-g4", 0, g4.num_faces() - 1,
+                          leaf_size=10)
+        before = client.query(q).result
+        edges = {0: g4.weights[0] + 11, 3: g4.weights[3] + 7}
+        report = client.mutate_weights("wire-g4", edges)
+        assert report["graph"] == "wire-g4"
+        assert report["changed_edges"] == 2
+        after = client.query(q).result
+        want = reference_results(
+            g4.copy(weights=[edges.get(e, w)
+                             for e, w in enumerate(g4.weights)]),
+            [q], name="wire-g4")[0]
+        assert after == want
+        # the workers repaired/dropped in lockstep with the master:
+        # every catalog audits clean against a from-scratch rebuild
+        audit = client.audit_labeling("wire-g4", leaf_size=10)
+        assert audit["master"]["error"] is None
+        assert len(audit["workers"]) == 2
+        assert all(rep["error"] is None
+                   for rep in audit["workers"].values())
+        assert before == reference_results(g4, [q],
+                                           name="wire-g4")[0]
+
+    def test_mutate_unknown_graph_typed_error(self, served):
+        with pytest.raises(ServiceError, match="unknown graph"):
+            served["client"].mutate_weights("missing", {0: 1})
+
+    def test_mutate_bad_edges_typed_error(self, served):
+        client = served["client"]
+        with pytest.raises(ServiceError, match="bad edge id"):
+            client.mutate_weights("g", {-1: 5})
+        with pytest.raises(ServiceError, match="finite number"):
+            client.mutate_weights("g", {0: float("inf")})
+        # a malformed frame (edges not a list) is a protocol error,
+        # and neither failure killed the connection
+        with pytest.raises(ProtocolError, match="edges"):
+            client._call("mutate_weights", graph="g", edges="nope")
+        assert client.ping()["pong"] is True
+
+    def test_mutation_negative_cycle_surfaces_typed_with_site(self, served):
+        # forked pool: the master catalog holds no labeling (queries
+        # warm the workers), so the mutate applies the bad weights
+        # without raising — the cycle surfaces, typed, at the next
+        # query, exactly like a set_weights reprice would
+        g5 = make_grid(5, 6, seed=29)
+        client = served["client"]
+        client.register("wire-g5", g5)
+        q = DistanceQuery("wire-g5", 0, 5, leaf_size=10)
+        client.query(q)  # warm a labeling somewhere in the pool
+        client.mutate_weights("wire-g5", {2: -9})
+        with pytest.raises(NegativeCycleError) as info:
+            client.query(q)
+        # the raise site travelled the wire intact (tuples come back
+        # as tuples), identical to what a local fresh build reports
+        bad = g5.copy(weights=[(-9 if e == 2 else w)
+                               for e, w in enumerate(g5.weights)])
+        cat = GraphCatalog()
+        cat.register("wire-g5", bad)
+        with pytest.raises(NegativeCycleError) as want:
+            cat.get("wire-g5").labeling(leaf_size=10)
+        assert str(info.value) == str(want.value)
+        assert info.value.where == want.value.where
+        assert isinstance(info.value.where, type(want.value.where))
+        # every catalog reports the same error site through the audit
+        audit = client.audit_labeling("wire-g5", leaf_size=10)
+        sites = [audit["master"]["error"]] + \
+            [rep["error"] for rep in audit["workers"].values()]
+        assert all(s == sites[0] and s["type"] == "NegativeCycleError"
+                   for s in sites)
+        # recovery: a set_weights rollback serves correctly again
+        client.set_weights("wire-g5", weights=list(g5.weights))
+        assert client.query(q).result == \
+            reference_results(g5, [q], name="wire-g5")[0]
+
     def test_stats_verb(self, served):
         stats = served["client"].stats()
         assert stats["workers"] == 2
@@ -551,6 +679,32 @@ def test_run_sharded_preserves_callers_shared_cache():
     assert any(len(k) > 1 and k[1] == topo_token(mine) for k in keys)
     assert not any(len(k) > 1 and k[1] == topo_token(fresh)
                    for k in keys)
+
+
+def test_mutate_cycle_raise_travels_wire_from_serving_catalog():
+    # workers=0: the server's own catalog serves queries, so it holds
+    # the repairable labeling and the *mutate itself* raises the
+    # NegativeCycleError over the wire, ``where`` tuple and all
+    g = make_grid(5, 6, seed=31)
+    server = serve(graphs={"g": g}, workers=0, prewarm=None)
+    try:
+        with ServiceClient(*server.address, timeout=60) as client:
+            q = DistanceQuery("g", 0, 5, leaf_size=10)
+            client.query(q)  # warm the serving labeling
+            with pytest.raises(NegativeCycleError) as info:
+                client.mutate_weights("g", {2: -9})
+        cat = GraphCatalog()
+        cat.register("g", g.copy(weights=[(-9 if e == 2 else w)
+                                          for e, w in
+                                          enumerate(g.weights)]))
+        with pytest.raises(NegativeCycleError) as want:
+            cat.get("g").labeling(leaf_size=10)
+        assert str(info.value) == str(want.value)
+        assert info.value.where == want.value.where
+        assert isinstance(info.value.where, type(want.value.where))
+    finally:
+        server.shutdown()
+        server.pool.close()
 
 
 def test_serve_helper_builds_and_serves():
