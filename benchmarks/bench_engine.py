@@ -28,6 +28,7 @@ import sys
 import time
 
 import pytest
+from _json_out import add_json_arg, emit_json
 
 from repro.core import PlanarMaxFlow, flow_value_networkx, max_st_flow
 from repro.planar.generators import grid, randomize_weights
@@ -105,6 +106,7 @@ def main(argv=None):
                          "backend before reporting a lower bound")
     ap.add_argument("--legacy-worker", action="store_true",
                     help=argparse.SUPPRESS)
+    add_json_arg(ap)
     args = ap.parse_args(argv)
 
     if args.legacy_worker:
@@ -137,6 +139,7 @@ def main(argv=None):
         legacy_s = float(secs)
         assert int(value) == res.value, "legacy value mismatch"
         speedup = legacy_s / engine_s
+        exact = True
         print(f"legacy backend : value={value} time={legacy_s:.2f}s")
         print(f"speedup        : {speedup:.1f}x (exact)")
         if legacy_s < 0.05:
@@ -145,6 +148,7 @@ def main(argv=None):
     except subprocess.TimeoutExpired:
         legacy_s = args.legacy_budget
         speedup = legacy_s / engine_s
+        exact = False
         print(f"legacy backend : still running after the "
               f"{args.legacy_budget:.0f}s budget (killed)")
         print(f"speedup        : >= {speedup:.1f}x (lower bound; raise "
@@ -152,6 +156,16 @@ def main(argv=None):
 
     ok = speedup >= 2.0
     print(f"acceptance (>= 2x): {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "engine", {
+        "instance": {"rows": args.rows, "cols": args.cols, "n": g.n,
+                     "m": g.m, "seed": args.seed},
+        "engine_s": engine_s,
+        "legacy_s": legacy_s,
+        "speedup": speedup,
+        "exact": exact,
+        "value": res.value,
+        "probes": res.probes,
+    }, ok)
     return 0 if ok else 1
 
 

@@ -28,6 +28,7 @@ import sys
 import time
 
 import pytest
+from _json_out import add_json_arg, emit_json
 
 from repro.baselines.centralized import centralized_weighted_girth
 from repro.core import directed_weighted_girth, weighted_girth
@@ -123,6 +124,7 @@ def main(argv=None):
     ap.add_argument("--rows", type=int, default=24)
     ap.add_argument("--cols", type=int, default=24)
     ap.add_argument("--seed", type=int, default=7)
+    add_json_arg(ap)
     args = ap.parse_args(argv)
 
     g = randomize_weights(grid(args.rows, args.cols), seed=args.seed)
@@ -153,6 +155,16 @@ def main(argv=None):
 
     ok = speedup >= 2.0 and eng.value == leg.value
     print(f"acceptance (>= 2x, equal outputs): {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "girth_engine", {
+        "instance": {"rows": args.rows, "cols": args.cols, "n": g.n,
+                     "m": g.m, "seed": args.seed},
+        "engine_s": engine_s,
+        "legacy_s": legacy_s,
+        "speedup": speedup,
+        "exact": True,
+        "girth": eng.value,
+        "outputs_bit_identical": identical,
+    }, ok)
     return 0 if ok else 1
 
 

@@ -37,6 +37,7 @@ import sys
 import time
 
 import pytest
+from _json_out import add_json_arg, emit_json
 
 from repro.bdd import build_bdd
 from repro.congest import RoundLedger
@@ -155,6 +156,7 @@ def main(argv=None):
                          "backend before reporting a lower bound")
     ap.add_argument("--legacy-worker", action="store_true",
                     help=argparse.SUPPRESS)
+    add_json_arg(ap)
     args = ap.parse_args(argv)
 
     if args.legacy_worker:
@@ -208,6 +210,13 @@ def main(argv=None):
             if proc.stderr:
                 print(proc.stderr.rstrip())
             print("acceptance (>= 2x): FAIL (legacy worker died)")
+            emit_json(args.json, "labeling", {
+                "instance": {"rows": args.rows, "cols": args.cols,
+                             "n": g.n, "m": g.m, "seed": args.seed},
+                "engine_cold_s": engine_cold_s,
+                "engine_s": engine_s,
+                "legacy_worker_exit": proc.returncode,
+            }, False)
             return 1
         fields = out.split()
         legacy_s = float(fields[1])
@@ -216,12 +225,14 @@ def main(argv=None):
         assert legacy_dists == engine_dists, \
             "decoded distances diverge between backends"
         speedup = legacy_s / engine_s
+        exact = True
         print(f"legacy backend : {legacy_s:.2f}s "
               f"(sampled decodes match)")
         print(f"speedup        : {speedup:.1f}x (exact)")
     except subprocess.TimeoutExpired:
         legacy_s = args.legacy_budget
         speedup = legacy_s / engine_s
+        exact = False
         print(f"legacy backend : still running after the "
               f"{args.legacy_budget:.0f}s budget (killed)")
         print(f"speedup        : >= {speedup:.1f}x (lower bound; raise "
@@ -229,6 +240,16 @@ def main(argv=None):
 
     ok = speedup >= 2.0
     print(f"acceptance (>= 2x): {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "labeling", {
+        "instance": {"rows": args.rows, "cols": args.cols, "n": g.n,
+                     "m": g.m, "seed": args.seed,
+                     "leaf_size": bdd.leaf_size, "bags": len(bdd.bags)},
+        "engine_cold_s": engine_cold_s,
+        "engine_s": engine_s,
+        "legacy_s": legacy_s,
+        "speedup": speedup,
+        "exact": exact,
+    }, ok)
     return 0 if ok else 1
 
 

@@ -1,0 +1,244 @@
+"""Workload benchmark: dynamic-scenario replay parity + open-loop
+latency on the served stack (DESIGN.md §12).
+
+Two modes:
+
+* under pytest (part of the benchmark suite): times a warm in-process
+  replay of a small evacuation scenario, asserting bit-parity against
+  a second reference replay inline;
+
+* as a script, the standing acceptance gate every serving-path perf
+  PR must keep green —
+
+      PYTHONPATH=src python benchmarks/bench_workload.py \\
+          [--rows 64] [--cols 64] [--scenario evacuation] \\
+          [--json BENCH_workload.json]
+
+  runs, on the rows x cols scenario:
+
+  1. **reference replay** — the scenario against a fresh
+     single-threaded :class:`~repro.service.catalog.GraphCatalog`
+     (mutations, query bursts, an ``audit_labeling`` checkpoint after
+     every mutation epoch);
+  2. **served replay** — the same scenario over the full stack
+     (forked :class:`~repro.server.pool.WarmWorkerPool` behind a
+     :class:`~repro.server.app.QueryServer`, NDJSON client), then
+     byte-compares the two logs: every query result, every typed
+     error, every audit checkpoint must be *bit-identical*;
+  3. **open-loop load** — the scenario's query mix replayed through
+     the load generator at a fixed arrival rate over several
+     connections, reporting p50/p95/p99 latency, throughput and error
+     counts per query type.
+
+  Acceptance: served replay bit-parity PASS **and** warm p99 latency
+  under ``--p99-budget`` seconds **and** zero load-phase errors.
+"""
+
+import argparse
+import time
+
+from _json_out import add_json_arg, emit_json
+
+from repro.workload import (
+    assert_replay_parity,
+    reference_replay,
+    replay_scenario,
+)
+
+
+# ----------------------------------------------------------------------
+# pytest mode
+# ----------------------------------------------------------------------
+def test_reference_replay_deterministic(benchmark, small_scenario):
+    """Warm in-process replay of the small evacuation scenario."""
+    from repro.service import GraphCatalog
+    from repro.workload import CatalogExecutor
+
+    baseline = reference_replay(small_scenario, leaf_size=6)
+
+    def replay_once():
+        catalog = GraphCatalog()
+        return replay_scenario(small_scenario,
+                               CatalogExecutor(catalog), leaf_size=6)
+
+    log = benchmark(replay_once)
+    assert_replay_parity(log, baseline)
+    assert all(a["audit"]["error"] is None
+               for a in log.audit_checkpoints())
+    benchmark.extra_info.update(
+        {"records": len(log.records),
+         "queries": small_scenario.query_count(),
+         "epochs": small_scenario.mutation_epochs()})
+
+
+def test_loadgen_stub_overhead(benchmark, small_scenario):
+    """Generator overhead: open-loop dispatch against a no-op target
+    (per-query cost of the harness itself, not of any server)."""
+    from repro.workload import run_load
+    from repro.workload.scenario import QueryBurst
+
+    queries = [q for e in small_scenario.events
+               if isinstance(e, QueryBurst) for q in e.queries]
+
+    class _Null:
+        def query(self, q):
+            return q
+
+    report = benchmark(lambda: run_load(queries, lambda i: _Null(),
+                                        rate=5000.0, connections=2))
+    assert report.error_count == 0
+    assert report.total.count == len(queries)
+
+
+# ----------------------------------------------------------------------
+# script mode
+# ----------------------------------------------------------------------
+def main(argv=None):
+    from repro.server import QueryServer, ServiceClient, WarmWorkerPool
+    from repro.workload import ClientExecutor, make_scenario, run_load
+    from repro.workload.scenario import QueryBurst
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--scenario", default="evacuation",
+                    choices=("evacuation", "outage", "flood"))
+    ap.add_argument("--rows", type=int, default=64)
+    ap.add_argument("--cols", type=int, default=64)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--epochs", type=int, default=4,
+                    help="mutation epochs (ignored by flood, which "
+                         "uses its stage profile)")
+    ap.add_argument("--queries-per-epoch", type=int, default=24)
+    ap.add_argument("--leaf-size", type=int, default=None,
+                    help="BDD leaf size for labelings and audits")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="pool workers behind the server")
+    ap.add_argument("--rate", type=float, default=12.0,
+                    help="open-loop arrival rate (queries/second); "
+                         "two warm workers sustain ~20 q/s on the "
+                         "64x64 evacuation scenario, so the default "
+                         "probes a ~60%% utilization operating point "
+                         "rather than saturation (open-loop latency "
+                         "explodes past capacity by design)")
+    ap.add_argument("--connections", type=int, default=4)
+    ap.add_argument("--load-repeats", type=int, default=3,
+                    help="times the scenario's query mix is replayed "
+                         "through the load generator")
+    ap.add_argument("--p99-budget", type=float, default=2.0,
+                    help="acceptance: warm p99 latency budget "
+                         "(seconds).  ~1.2 s measured at the default "
+                         "operating point on the 64x64 scenario: "
+                         "result memoization is per worker, so the "
+                         "tail is the first occurrence of a query on "
+                         "the worker that did not serve it during "
+                         "warm-up.  Saturation — the regression this "
+                         "gate exists to catch — shows up an order "
+                         "of magnitude above the budget")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+
+    kwargs = {"rows": args.rows, "cols": args.cols, "seed": args.seed,
+              "queries_per_epoch": args.queries_per_epoch}
+    if args.scenario != "flood":
+        kwargs["epochs"] = args.epochs
+    scenario = make_scenario(args.scenario, **kwargs)
+    print(f"scenario: {scenario.name}  events={len(scenario.events)}  "
+          f"queries={scenario.query_count()}  "
+          f"mutation epochs={scenario.mutation_epochs()}")
+
+    # -- 1. single-threaded reference replay (the ground truth)
+    t0 = time.perf_counter()
+    reference = reference_replay(scenario, leaf_size=args.leaf_size)
+    ref_s = time.perf_counter() - t0
+    print(f"reference replay         : {ref_s:8.2f} s "
+          f"({len(reference.records)} records, "
+          f"digest {reference.digest()[:16]})")
+
+    # -- 2. served replay over the full stack, then byte-compare
+    pool = WarmWorkerPool(workers=args.workers)
+    for name, g in scenario.build_graphs().items():
+        pool.register(name, g)
+    pool.prewarm(kinds=("flow", "distance"))
+    pool.start()
+    server = QueryServer(pool).start_background()
+    try:
+        with ServiceClient(*server.address, timeout=600) as client:
+            t0 = time.perf_counter()
+            served = replay_scenario(scenario, ClientExecutor(client),
+                                     leaf_size=args.leaf_size)
+            served_s = time.perf_counter() - t0
+        print(f"served replay            : {served_s:8.2f} s "
+              f"({args.workers} workers, digest "
+              f"{served.digest()[:16]})")
+        compared = assert_replay_parity(served, reference)
+        audits = served.audit_checkpoints()
+        parity_ok = True
+        print(f"replay bit-parity        : PASS ({compared} records "
+              f"compared, {len(audits)} audit checkpoints)")
+
+        # -- 3. open-loop load against the warm server.  One untimed
+        # pass re-memoizes the scenario's full mix under the *final*
+        # weights first: the replay's mutation epochs invalidated the
+        # early-epoch distance/girth results, and the gate is a *warm*
+        # p99 — cold rebuild spikes are bench_service's subject, not
+        # this one's.
+        queries = [q for e in scenario.events
+                   if isinstance(e, QueryBurst) for q in e.queries]
+        with ServiceClient(*server.address, timeout=600) as warmer:
+            warmer.run(queries)
+        queries = queries * args.load_repeats
+        report = run_load(
+            queries,
+            lambda i: ServiceClient(*server.address,
+                                    timeout=600).connect(),
+            rate=args.rate, connections=args.connections,
+            seed=args.seed)
+    finally:
+        server.shutdown()
+        pool.close()
+
+    rows = report.rows()
+    for kind, row in sorted(rows.items()):
+        if kind == "total" or "p99_s" not in row:
+            continue
+        print(f"  {kind:<9}: {row['count']:4d} queries  "
+              f"p50={row['p50_s'] * 1e3:7.2f} ms  "
+              f"p95={row['p95_s'] * 1e3:7.2f} ms  "
+              f"p99={row['p99_s'] * 1e3:7.2f} ms  "
+              f"{row['throughput_qps']:7.0f} q/s")
+    total = rows["total"]
+    print(f"open-loop load           : {total['count']} queries over "
+          f"{report.seconds:.2f} s at {args.rate:g}/s offered, "
+          f"{report.connections} connections")
+
+    p99 = report.p99()
+    p99_ok = p99 <= args.p99_budget
+    errors_ok = report.error_count == 0
+    ok = parity_ok and p99_ok and errors_ok
+    print(f"acceptance (parity PASS, p99 <= {args.p99_budget:g} s, "
+          f"0 errors) : {'PASS' if ok else 'FAIL'} "
+          f"(p99={p99 * 1e3:.2f} ms, errors={report.error_count})")
+    emit_json(args.json, "workload", {
+        "scenario": {"kind": args.scenario, "name": scenario.name,
+                     "rows": args.rows, "cols": args.cols,
+                     "seed": args.seed,
+                     "queries": scenario.query_count(),
+                     "mutation_epochs": scenario.mutation_epochs(),
+                     "leaf_size": args.leaf_size},
+        "reference_replay_s": ref_s,
+        "served_replay_s": served_s,
+        "replay_records": compared,
+        "audit_checkpoints": len(audits),
+        "replay_digest": served.digest(),
+        "parity": "PASS" if parity_ok else "FAIL",
+        "workers": args.workers,
+        "load": rows,
+        "p99_s": p99,
+        "p99_budget_s": args.p99_budget,
+    }, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -30,3 +30,14 @@ def instances():
         "delaunay": randomize_weights(random_planar(60, seed=4), seed=4,
                                       directed_capacities=True),
     }
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A tiny evacuation scenario for the workload benchmarks — big
+    enough that mutation repair and mixed traffic really run, small
+    enough for the pytest-mode smoke."""
+    from repro.workload import evacuation_scenario
+
+    return evacuation_scenario(rows=5, cols=6, seed=1, epochs=2,
+                               queries_per_epoch=6, edges_per_epoch=3)

@@ -28,6 +28,7 @@ PUBLIC_MODULES = [
     "repro.engine",
     "repro.service",
     "repro.server",
+    "repro.workload",
     "repro.congest",
     "repro.aggregation",
     "repro.shortcuts",

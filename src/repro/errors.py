@@ -52,6 +52,18 @@ class AuditError(ServiceError):
         self.report = report
 
 
+class ReplayDivergenceError(ServiceError):
+    """A workload replay produced a response or audit checkpoint that
+    differs bit-for-bit from the single-threaded reference replay (see
+    ``repro.workload.replay.assert_replay_parity``).  ``record``
+    carries the first diverging record's canonical payload when
+    available."""
+
+    def __init__(self, message="replay divergence", record=None):
+        super().__init__(message)
+        self.record = record
+
+
 class ProtocolError(ReproError):
     """A ``repro.server`` wire frame was malformed: bad JSON, a
     mismatched protocol version, an unknown verb, or an unknown

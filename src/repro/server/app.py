@@ -121,8 +121,22 @@ class QueryServer:
                 raise ProtocolError("batch frame needs a 'queries' list")
             futures = [self.pool.submit(wire.query_from_wire(p))
                        for p in queries]
-            out["results"] = [wire.query_result_to_wire(f.result())
-                              for f in futures]
+            # per-query outcomes: one failed query must not turn the
+            # whole batch into an error frame (the other answers are
+            # already computed), so each entry carries its own ok flag
+            # and, on failure, its own typed error payload
+            entries = []
+            for f in futures:
+                try:
+                    r = f.result()
+                except Exception as exc:
+                    entries.append({"ok": False,
+                                    "error": wire.exception_to_wire(exc)})
+                else:
+                    entry = {"ok": True}
+                    entry.update(wire.query_result_to_wire(r))
+                    entries.append(entry)
+            out["results"] = entries
         elif verb == "register":
             name = frame.get("name")
             if not isinstance(name, str) or not name:

@@ -133,15 +133,31 @@ class ServiceClient:
         response = self._call("query", query=wire.query_to_wire(query))
         return wire.query_result_from_wire(query, response)
 
-    def run(self, queries):
+    def run(self, queries, on_error="raise"):
         """Serve a query mix in one round-trip; returns a
         :class:`~repro.service.batch.BatchReport` in input order.
 
         Duplicate queries are coalesced client-side: each distinct
-        query travels (and is served) once, and every duplicate gets
-        the same result object back — same sharing contract as the
-        catalog's result cache.
+        query travels (and is served) once, and every *successful*
+        duplicate gets the same (immutable) result object back — the
+        sharing contract of the catalog's result cache.  Failed
+        queries are never shared: every occurrence of a failing query
+        gets a **fresh** exception instance rebuilt from its error
+        frame, so two connections batching the same bad
+        ``DistanceQuery`` (or one client retrying it) can each raise,
+        annotate, and discard their own error without aliasing.
+
+        ``on_error`` selects what a failed query does to the batch:
+        ``"raise"`` (default) raises the first failure in input order;
+        ``"return"`` keeps going and returns an error envelope
+        (``result=None``, :attr:`~repro.service.queries.QueryResult.
+        error` set) in that query's slot, so mixed batches report
+        per-query outcomes — what the replay driver and the load
+        generator need to count errors instead of dying on them.
         """
+        if on_error not in ("raise", "return"):
+            raise ProtocolError(f"on_error must be 'raise' or "
+                                f"'return', got {on_error!r}")
         queries = list(queries)
         t0 = time.perf_counter()
         distinct = []
@@ -157,16 +173,27 @@ class ServiceClient:
             raise ProtocolError(
                 f"batch answered {len(payloads)} of {len(distinct)} "
                 f"queries")
-        envelopes = [wire.query_result_from_wire(q, p)
-                     for q, p in zip(distinct, payloads)]
-        # expand back to input order; replicated duplicates are warm
-        # hits against the first occurrence (zero extra serve time),
-        # matching what run_batch's result cache would have reported
+        envelopes = []
+        for q, p in zip(distinct, payloads):
+            if p.get("ok", True):
+                envelopes.append(wire.query_result_from_wire(q, p))
+            else:
+                envelopes.append(p.get("error", {}))  # raw error frame
+        # expand back to input order; replicated successful duplicates
+        # are warm hits against the first occurrence (zero extra serve
+        # time), matching what run_batch's result cache would report —
+        # while every failure occurrence rebuilds its own exception
         results = []
         seen = set()
         for q in queries:
             env = envelopes[index_of[q]]
-            if q in seen:
+            if isinstance(env, dict):   # error frame, never coalesced
+                exc = wire.exception_from_wire(env)
+                if on_error == "raise":
+                    raise exc
+                env = QueryResult(query=q, backend=None, result=None,
+                                  warm=False, seconds=0.0, error=exc)
+            elif q in seen:
                 env = QueryResult(query=q, backend=env.backend,
                                   result=env.result, warm=True,
                                   seconds=0.0)

@@ -332,6 +332,11 @@ class WarmWorkerPool:
             # registered after it would never resolve
             if self._closed:
                 raise ServiceError("worker pool closed")
+            if len(self._dead) == len(self._procs) and self._procs:
+                # no worker will ever pick this up — fail now instead
+                # of parking it until the reaper's next clock tick
+                fut.set_exception(ServiceError("all pool workers died"))
+                return fut
             self._job_counter += 1
             job_id = self._job_counter
             self._futures[job_id] = fut
@@ -555,6 +560,15 @@ class WarmWorkerPool:
             try:
                 item = self._result_q.get(timeout=1.0)
             except _queue.Empty:
+                self._reap_dead()
+                last_reap = time.monotonic()
+                continue
+            except Exception:
+                # a worker killed mid-``put`` can leave a truncated
+                # pickle on the results pipe; the fragment is
+                # unreadable but the *collector must survive it* —
+                # the dead worker's futures are failed by the reaper,
+                # and with the collector gone nothing would ever reap
                 self._reap_dead()
                 last_reap = time.monotonic()
                 continue

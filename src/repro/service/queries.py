@@ -120,6 +120,13 @@ class QueryResult:
     #: True when the result came from the catalog's result cache
     warm: bool
     seconds: float = field(repr=False, default=0.0)
+    #: the exception this query raised server-side, or None on
+    #: success (only populated by error-returning batch surfaces, e.g.
+    #: ``ServiceClient.run(on_error="return")``).  Each envelope owns
+    #: a *fresh* exception instance — raising it, attaching context to
+    #: it, or retrying the query never affects another envelope that
+    #: answered the same query
+    error: object = None
 
 
 class QueryPlanner:

@@ -1,0 +1,73 @@
+"""Dynamic-scenario workload engine (DESIGN.md §12).
+
+Three layers, strictly stacked:
+
+* :mod:`repro.workload.scenario` — deterministic, seedable schedules of
+  timestamped events (weight mutations, repricings, registrations,
+  query bursts), with generators for the three ROADMAP scenarios:
+  evacuation waves, cascading outages, flood-stage capacities;
+* :mod:`repro.workload.replay` — replay a scenario against an
+  in-process catalog, a warm worker pool, or the full socket stack,
+  and prove every response and audit checkpoint bit-identical to a
+  single-threaded reference replay;
+* :mod:`repro.workload.loadgen` — open-loop (fixed-arrival-rate)
+  multi-connection load generation with p50/p95/p99/throughput/error
+  reporting per query type.
+
+``benchmarks/bench_workload.py`` combines all three into the standing
+acceptance gate for serving-path performance work.
+"""
+
+from repro.workload.loadgen import (
+    LoadReport,
+    arrival_schedule,
+    percentile,
+    run_load,
+)
+from repro.workload.replay import (
+    CatalogExecutor,
+    ClientExecutor,
+    PoolExecutor,
+    ReplayLog,
+    assert_replay_parity,
+    reference_replay,
+    replay_scenario,
+)
+from repro.workload.scenario import (
+    GraphSpec,
+    MutateWeights,
+    QueryBurst,
+    Register,
+    Scenario,
+    SetWeights,
+    evacuation_scenario,
+    flood_scenario,
+    make_scenario,
+    outage_scenario,
+    random_scenario,
+)
+
+__all__ = [
+    "GraphSpec",
+    "Register",
+    "MutateWeights",
+    "SetWeights",
+    "QueryBurst",
+    "Scenario",
+    "evacuation_scenario",
+    "outage_scenario",
+    "flood_scenario",
+    "random_scenario",
+    "make_scenario",
+    "ReplayLog",
+    "CatalogExecutor",
+    "PoolExecutor",
+    "ClientExecutor",
+    "replay_scenario",
+    "reference_replay",
+    "assert_replay_parity",
+    "arrival_schedule",
+    "percentile",
+    "run_load",
+    "LoadReport",
+]

@@ -1,0 +1,474 @@
+"""Deterministic dynamic-workload scenarios (DESIGN.md §12).
+
+Every benchmark before this module measured a *static* grid: fix the
+weights, fire queries, read the clock.  Production traffic on a planar
+network is nothing like that — tolls change, lines trip, rivers rise —
+and PR 6's ``mutate_weights``/``audit_labeling`` machinery exists
+precisely to serve it.  A :class:`Scenario` is the missing workload
+object: a seeded, fully deterministic schedule of timestamped events
+(weight mutations, capacity repricing, graph registrations, query
+bursts) that :mod:`repro.workload.replay` can run against any serving
+surface and compare bit-for-bit against a single-threaded reference.
+
+Determinism is the load-bearing property: the same constructor
+arguments always produce the same scenario, and :meth:`Scenario.encode`
+renders it as canonical newline-delimited JSON so "same seed → same
+workload" is checkable as *byte equality*, not just structural
+equality (``tests/test_workload.py`` enforces this with hypothesis).
+Graphs are therefore described by :class:`GraphSpec` values (family +
+seed), never by live objects.
+
+Three generators extend the matching ``examples/`` stories into time:
+
+* :func:`evacuation_scenario` — congestion waves sweeping a road grid
+  (``examples/road_network_evacuation.py``): each epoch reprices the
+  road segments under the moving front and relieves the segments the
+  wave has passed, under mixed flow/cut/distance traffic;
+* :func:`outage_scenario` — cascading line trips on the power-grid
+  ring (``examples/power_grid_weak_ring.py``): every epoch trips lines
+  adjacent to already-tripped ones, and girth queries track the
+  weakest ring as it migrates;
+* :func:`flood_scenario` — flood-stage channel capacities on the river
+  delta (``examples/river_barrier_approx_flow.py``): stage-wide
+  ``SetWeights`` repricing as the water rises and recedes, under
+  flow/cut traffic.
+
+:func:`random_scenario` draws a structurally random schedule from a
+seed — the hypothesis fuzz surface.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ServiceError
+from repro.service.queries import (
+    CutQuery,
+    DistanceQuery,
+    FlowQuery,
+    GirthQuery,
+)
+
+#: graph families a :class:`GraphSpec` may name (generator lookup)
+SPEC_FAMILIES = ("grid", "cylinder")
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A graph described by construction, not by object identity.
+
+    ``build()`` is a pure function of the spec's fields, so two
+    processes (or two replays) constructing from the same spec get
+    value-identical graphs — the property that lets a scenario travel
+    as plain data while its replays stay bit-comparable.
+    """
+
+    family: str
+    rows: int
+    cols: int
+    seed: int = 0
+    low: int = 1
+    high: int = 20
+    directed_capacities: bool = True
+
+    def build(self):
+        """The :class:`~repro.planar.graph.PlanarGraph` this spec
+        names (weights/capacities included)."""
+        from repro.planar.generators import (
+            cylinder,
+            grid,
+            randomize_weights,
+        )
+
+        makers = {"grid": grid, "cylinder": cylinder}
+        if self.family not in makers:
+            raise ServiceError(f"unknown graph family {self.family!r}; "
+                               f"expected one of {SPEC_FAMILIES}")
+        base = makers[self.family](self.rows, self.cols)
+        return randomize_weights(
+            base, low=self.low, high=self.high, seed=self.seed,
+            directed_capacities=self.directed_capacities)
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Register:
+    """Register a late graph mid-scenario (pre-scenario graphs live in
+    ``Scenario.graphs`` instead)."""
+
+    at: float
+    name: str
+    spec: GraphSpec
+
+
+@dataclass(frozen=True)
+class MutateWeights:
+    """Delta-reprice a few edges — the
+    :meth:`~repro.service.catalog.GraphCatalog.mutate_weights` path.
+    ``edges`` holds absolute ``(eid, new_weight)`` pairs; ``epoch``
+    labels the mutation epoch the event closes (audit checkpoints
+    attach per epoch)."""
+
+    at: float
+    graph: str
+    edges: tuple
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class SetWeights:
+    """Whole-graph reprice — the
+    :meth:`~repro.service.catalog.GraphCatalog.set_weights` teardown
+    path (``weights`` / ``capacities`` are full per-edge tuples or
+    ``None``)."""
+
+    at: float
+    graph: str
+    weights: tuple | None = None
+    capacities: tuple | None = None
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class QueryBurst:
+    """A batch of typed queries arriving together at ``at``."""
+
+    at: float
+    queries: tuple
+
+
+EVENT_TYPES = (Register, MutateWeights, SetWeights, QueryBurst)
+
+
+def event_to_wire(event):
+    """Canonical JSON-safe payload of one event (the unit of
+    :meth:`Scenario.encode`)."""
+    from repro.server.wire import query_to_wire
+
+    if isinstance(event, Register):
+        return {"event": "register", "at": event.at,
+                "name": event.name, "spec": asdict(event.spec)}
+    if isinstance(event, MutateWeights):
+        return {"event": "mutate", "at": event.at,
+                "graph": event.graph, "epoch": event.epoch,
+                "edges": [[eid, w] for eid, w in event.edges]}
+    if isinstance(event, SetWeights):
+        return {"event": "set-weights", "at": event.at,
+                "graph": event.graph, "epoch": event.epoch,
+                "weights": None if event.weights is None
+                else list(event.weights),
+                "capacities": None if event.capacities is None
+                else list(event.capacities)}
+    if isinstance(event, QueryBurst):
+        return {"event": "queries", "at": event.at,
+                "queries": [query_to_wire(q) for q in event.queries]}
+    raise ServiceError(f"unknown event type {type(event).__name__}")
+
+
+def _canonical_line(obj):
+    return (json.dumps(obj, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded, timestamp-ordered event schedule.
+
+    ``graphs`` are the pre-scenario registrations (name → spec, as an
+    ordered tuple of pairs); ``events`` must be sorted by ``at`` (ties
+    keep construction order).  The object is frozen and all payloads
+    are value types, so scenarios hash, pickle, and compare by value.
+    """
+
+    name: str
+    seed: int
+    graphs: tuple = field(default_factory=tuple)
+    events: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        times = [e.at for e in self.events]
+        if times != sorted(times):
+            raise ServiceError(
+                f"scenario {self.name!r} events must be sorted by "
+                f"timestamp")
+        for ev in self.events:
+            if not isinstance(ev, EVENT_TYPES):
+                raise ServiceError(f"unknown event type "
+                                   f"{type(ev).__name__}")
+
+    # ------------------------------------------------------------------
+    def build_graphs(self):
+        """name → freshly built :class:`~repro.planar.graph.
+        PlanarGraph` for the pre-scenario registrations."""
+        return {name: spec.build() for name, spec in self.graphs}
+
+    def query_count(self):
+        return sum(len(e.queries) for e in self.events
+                   if isinstance(e, QueryBurst))
+
+    def mutation_epochs(self):
+        """Number of mutation events (each closes one audit epoch)."""
+        return sum(1 for e in self.events
+                   if isinstance(e, (MutateWeights, SetWeights)))
+
+    def encode(self):
+        """Canonical NDJSON rendering, as bytes.
+
+        Same scenario value → same bytes, across processes and runs
+        (keys sorted, compact separators, queries rendered through the
+        wire codec) — the replay-determinism contract is checked
+        against this encoding.
+        """
+        lines = [_canonical_line({"scenario": self.name,
+                                  "seed": self.seed, "v": 1})]
+        for name, spec in self.graphs:
+            lines.append(_canonical_line({"graph": name,
+                                          "spec": asdict(spec)}))
+        for event in self.events:
+            lines.append(_canonical_line(event_to_wire(event)))
+        return b"".join(lines)
+
+
+# ----------------------------------------------------------------------
+# shared generator plumbing
+# ----------------------------------------------------------------------
+def _rng(kind, seed):
+    # string seeding runs through sha512 in CPython's random.seed, so
+    # the stream is stable across processes and PYTHONHASHSEED values
+    return random.Random(f"repro-workload-{kind}-{seed}")
+
+
+def _query_mix(rng, name, g, count, mix):
+    """``count`` typed queries drawn from ``mix`` — a list of
+    ``(kind, share)`` pairs over {"flow", "cut", "distance", "girth"}
+    — against graph ``name``."""
+    nf = g.num_faces()
+    kinds = [k for k, _ in mix]
+    weights = [share for _, share in mix]
+    out = []
+    for _ in range(count):
+        kind = rng.choices(kinds, weights=weights)[0]
+        if kind == "distance":
+            out.append(DistanceQuery(name, rng.randrange(nf),
+                                     rng.randrange(nf)))
+        elif kind == "flow":
+            s = rng.randrange(g.n)
+            t = rng.randrange(g.n - 1)
+            out.append(FlowQuery(name, s, t if t < s else t + 1))
+        elif kind == "cut":
+            s = rng.randrange(g.n)
+            t = rng.randrange(g.n - 1)
+            out.append(CutQuery(name, s, t if t < s else t + 1))
+        else:
+            out.append(GirthQuery(name))
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# the three ROADMAP scenarios
+# ----------------------------------------------------------------------
+def evacuation_scenario(rows=64, cols=64, seed=7, epochs=4,
+                        queries_per_epoch=24, edges_per_epoch=10,
+                        name=None):
+    """Evacuation waves on a road grid (the dynamic sequel to
+    ``examples/road_network_evacuation.py``).
+
+    A congestion front sweeps the grid left to right: epoch ``e``
+    reprices ``edges_per_epoch`` road segments inside the moving
+    column band to wave-congested weights and relieves the previous
+    band back to its base weight — a contiguous dirty set, which is
+    exactly the delta-repair sweet spot of DESIGN.md §11.  Between
+    mutations, bursts of mixed traffic ask for evacuation capacity
+    (flow), bottlenecks (cut) and dual distances.
+    """
+    graph_name = name or f"evac-{rows}x{cols}"
+    spec = GraphSpec("grid", rows, cols, seed=seed, low=1, high=6)
+    g = spec.build()
+    rng = _rng("evacuation", seed)
+    base = list(g.weights)
+    current = list(g.weights)
+
+    def band_edges(e):
+        lo = (e * cols) // max(epochs, 1)
+        hi = ((e + 1) * cols) // max(epochs, 1)
+        eids = []
+        for eid, (u, v) in enumerate(g.edges):
+            if lo <= u % cols < hi and lo <= v % cols < hi:
+                eids.append(eid)
+        return eids
+
+    events = [QueryBurst(0.0, _query_mix(
+        rng, graph_name, g, queries_per_epoch,
+        [("distance", 5), ("flow", 3), ("cut", 2)]))]
+    t = 1.0
+    for epoch in range(1, epochs + 1):
+        congested = band_edges(epoch - 1)
+        rng.shuffle(congested)
+        updates = []
+        for eid in congested[:edges_per_epoch]:
+            current[eid] = base[eid] * (4 + epoch % 3)   # wave arrives
+            updates.append((eid, current[eid]))
+        if epoch >= 2:
+            relieved = band_edges(epoch - 2)
+            for eid in relieved:
+                if current[eid] != base[eid]:            # wave passed
+                    current[eid] = base[eid]
+                    updates.append((eid, current[eid]))
+        events.append(MutateWeights(t, graph_name, tuple(updates),
+                                    epoch=epoch))
+        events.append(QueryBurst(t + 0.5, _query_mix(
+            rng, graph_name, g, queries_per_epoch,
+            [("distance", 5), ("flow", 3), ("cut", 2)])))
+        t += 1.0
+    return Scenario(name=f"evacuation-{rows}x{cols}-s{seed}",
+                    seed=seed, graphs=((graph_name, spec),),
+                    events=tuple(events))
+
+
+def outage_scenario(rows=5, cols=12, seed=13, epochs=4,
+                    queries_per_epoch=16, name=None):
+    """Cascading outages on the power-grid ring (the dynamic sequel to
+    ``examples/power_grid_weak_ring.py``).
+
+    Epoch 1 trips one line (its upgrade cost jumps 40×); every later
+    epoch trips lines *adjacent* to already-tripped ones — a cascade.
+    Girth queries track the weakest redundant ring as it migrates,
+    with dual-distance and flow traffic mixed in.
+    """
+    graph_name = name or f"ring-{rows}x{cols}"
+    spec = GraphSpec("cylinder", rows, cols, seed=seed, low=3, high=40)
+    g = spec.build()
+    rng = _rng("outage", seed)
+    current = list(g.weights)
+    tripped = set()
+
+    events = [QueryBurst(0.0, _query_mix(
+        rng, graph_name, g, queries_per_epoch,
+        [("girth", 2), ("distance", 4), ("flow", 2)]))]
+    t = 1.0
+    for epoch in range(1, epochs + 1):
+        if not tripped:
+            candidates = list(range(g.m))
+        else:
+            hot = {v for eid in tripped for v in g.edges[eid]}
+            candidates = [eid for eid, (u, v) in enumerate(g.edges)
+                          if eid not in tripped
+                          and (u in hot or v in hot)]
+            candidates = candidates or [eid for eid in range(g.m)
+                                        if eid not in tripped]
+        trips = rng.sample(candidates, min(2, len(candidates)))
+        updates = []
+        for eid in trips:
+            tripped.add(eid)
+            current[eid] = current[eid] * 40
+            updates.append((eid, current[eid]))
+        events.append(MutateWeights(t, graph_name, tuple(updates),
+                                    epoch=epoch))
+        events.append(QueryBurst(t + 0.5, _query_mix(
+            rng, graph_name, g, queries_per_epoch,
+            [("girth", 2), ("distance", 4), ("flow", 2)])))
+        t += 1.0
+    return Scenario(name=f"outage-{rows}x{cols}-s{seed}",
+                    seed=seed, graphs=((graph_name, spec),),
+                    events=tuple(events))
+
+
+def flood_scenario(rows=8, cols=12, seed=21, stages=(2, 3, 2, 1),
+                   queries_per_epoch=16, name=None):
+    """Flood-stage capacities on the river delta (the dynamic sequel
+    to ``examples/river_barrier_approx_flow.py``).
+
+    Each stage multiplies every channel's capacity by the stage factor
+    (the river rising, cresting, receding) via whole-graph
+    ``SetWeights`` events — the teardown-reprice path — under
+    flow-heavy traffic asking how much water the delta passes and
+    which channels form the barrier.
+    """
+    graph_name = name or f"delta-{rows}x{cols}"
+    spec = GraphSpec("grid", rows, cols, seed=seed, low=1, high=15,
+                     directed_capacities=False)
+    g = spec.build()
+    rng = _rng("flood", seed)
+    base_caps = list(g.capacities)
+
+    events = [QueryBurst(0.0, _query_mix(
+        rng, graph_name, g, queries_per_epoch,
+        [("flow", 4), ("cut", 3), ("distance", 2)]))]
+    t = 1.0
+    for epoch, factor in enumerate(stages, start=1):
+        caps = tuple(c * factor for c in base_caps)
+        events.append(SetWeights(t, graph_name, capacities=caps,
+                                 epoch=epoch))
+        events.append(QueryBurst(t + 0.5, _query_mix(
+            rng, graph_name, g, queries_per_epoch,
+            [("flow", 4), ("cut", 3), ("distance", 2)])))
+        t += 1.0
+    return Scenario(name=f"flood-{rows}x{cols}-s{seed}",
+                    seed=seed, graphs=((graph_name, spec),),
+                    events=tuple(events))
+
+
+#: name → generator, the CLI/benchmark selection surface
+SCENARIO_KINDS = {
+    "evacuation": evacuation_scenario,
+    "outage": outage_scenario,
+    "flood": flood_scenario,
+}
+
+
+def make_scenario(kind, **kwargs):
+    """Build one of the named ROADMAP scenarios."""
+    gen = SCENARIO_KINDS.get(kind)
+    if gen is None:
+        raise ServiceError(f"unknown scenario kind {kind!r}; expected "
+                           f"one of {sorted(SCENARIO_KINDS)}")
+    return gen(**kwargs)
+
+
+def random_scenario(seed, max_rows=5, max_cols=6, max_epochs=3,
+                    max_queries=8):
+    """A structurally random (but fully seed-determined) scenario —
+    the hypothesis fuzz surface of ``tests/test_workload.py``.
+
+    Draws the family, size, epoch count, query mix and mutation edges
+    from one seeded stream, so the same seed always yields the same
+    scenario value (and therefore the same :meth:`Scenario.encode`
+    bytes).
+    """
+    rng = _rng("random", seed)
+    kind = rng.choice(sorted(SCENARIO_KINDS))
+    rows = rng.randint(3, max_rows)
+    cols = rng.randint(4, max_cols)
+    epochs = rng.randint(1, max_epochs)
+    q = rng.randint(2, max_queries)
+    if kind == "flood":
+        stages = tuple(rng.randint(1, 4) for _ in range(epochs))
+        return flood_scenario(rows=rows, cols=cols, seed=seed,
+                              stages=stages, queries_per_epoch=q)
+    if kind == "outage":
+        return outage_scenario(rows=rows, cols=cols + 1, seed=seed,
+                               epochs=epochs, queries_per_epoch=q)
+    return evacuation_scenario(rows=rows, cols=cols, seed=seed,
+                               epochs=epochs, queries_per_epoch=q,
+                               edges_per_epoch=rng.randint(1, 4))
+
+
+__all__ = [
+    "GraphSpec",
+    "Register",
+    "MutateWeights",
+    "SetWeights",
+    "QueryBurst",
+    "Scenario",
+    "event_to_wire",
+    "evacuation_scenario",
+    "outage_scenario",
+    "flood_scenario",
+    "random_scenario",
+    "make_scenario",
+    "SCENARIO_KINDS",
+]

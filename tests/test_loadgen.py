@@ -1,0 +1,202 @@
+"""Unit tests for the open-loop load generator (DESIGN.md §12):
+arrival-schedule determinism, nearest-rank percentile math against
+hand-computed fixtures, per-kind error accounting with a stub target,
+and error-frame counting when pool workers are killed mid-run (the
+worker-death harness from ``tests/test_server.py``)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.planar.generators import grid, randomize_weights
+from repro.server import QueryServer, ServiceClient, WarmWorkerPool
+from repro.service import DistanceQuery, FlowQuery, GirthQuery
+from repro.workload import arrival_schedule, percentile, run_load
+from test_server import kill_pool_worker
+
+
+# ----------------------------------------------------------------------
+# arrival schedules
+# ----------------------------------------------------------------------
+class TestArrivalSchedule:
+    def test_uniform_schedule_is_paced(self):
+        assert arrival_schedule(100.0, 3) == (0.0, 0.01, 0.02)
+        assert arrival_schedule(50.0, 0) == ()
+
+    def test_seeded_schedule_deterministic(self):
+        a = arrival_schedule(10.0, 50, seed=7)
+        b = arrival_schedule(10.0, 50, seed=7)
+        assert a == b
+        assert len(a) == 50
+        assert list(a) == sorted(a)          # arrivals are ordered
+        assert arrival_schedule(10.0, 50, seed=8) != a
+
+    def test_seeded_schedule_golden_fixture(self):
+        # string seeding runs through sha512, so the draw stream is
+        # stable across processes and PYTHONHASHSEED values — these
+        # exact floats are the cross-process determinism contract
+        assert arrival_schedule(10.0, 4, seed=42) == (
+            0.0232359903470568, 0.1525488299490061,
+            0.2548626648531628, 0.27259717999070343)
+
+    def test_seeded_schedule_mean_rate(self):
+        a = arrival_schedule(200.0, 400, seed=3)
+        # mean interarrival of an exponential(rate) draw is 1/rate;
+        # with 400 draws the sample mean is within a loose 3x band
+        assert 400 / 200.0 / 3 < a[-1] < 400 / 200.0 * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            arrival_schedule(0, 5)
+        with pytest.raises(ValueError, match="count"):
+            arrival_schedule(10.0, -1)
+
+
+# ----------------------------------------------------------------------
+# percentile math
+# ----------------------------------------------------------------------
+class TestPercentile:
+    def test_hand_computed_fixture(self):
+        decades = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        # nearest rank: index ceil(p/100 * 10), 1-based
+        assert percentile(decades, 50) == 50
+        assert percentile(decades, 90) == 90
+        assert percentile(decades, 91) == 100
+        assert percentile(decades, 95) == 100
+        assert percentile(decades, 99) == 100
+        assert percentile(decades, 0) == 10
+        assert percentile(decades, 100) == 100
+
+    def test_unsorted_input_and_ties(self):
+        assert percentile([3, 1, 4, 1, 5], 50) == 3
+        assert percentile([3, 1, 4, 1, 5], 25) == 1
+        assert percentile([3, 1, 4, 1, 5], 95) == 5
+        assert percentile([7], 50) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50)
+        with pytest.raises(ValueError, match="0, 100"):
+            percentile([1], 101)
+
+
+# ----------------------------------------------------------------------
+# run_load against a stub target (no sockets, no processes)
+# ----------------------------------------------------------------------
+class _StubTarget:
+    """Answers instantly; flow queries with s == 666 blow up."""
+
+    instances = 0
+
+    def __init__(self):
+        type(self).instances += 1
+        self.closed = False
+
+    def query(self, q):
+        if isinstance(q, FlowQuery) and q.s == 666:
+            raise ServiceError("stub refuses s=666")
+        return q
+
+    def close(self):
+        self.closed = True
+
+
+class TestRunLoadStub:
+    def test_per_kind_accounting_and_rows(self):
+        queries = ([DistanceQuery("g", 0, 1)] * 6
+                   + [FlowQuery("g", 0, 9)] * 3
+                   + [FlowQuery("g", 666, 9)] * 2
+                   + [GirthQuery("g")])
+        targets = []
+
+        def make_target(i):
+            t = _StubTarget()
+            targets.append(t)
+            return t
+
+        report = run_load(queries, make_target, rate=2000.0,
+                          connections=3, seed=5)
+        assert report.connections == 3 and len(targets) == 3
+        assert all(t.closed for t in targets)
+
+        rows = report.rows()
+        assert rows["distance"]["count"] == 6
+        assert rows["distance"]["errors"] == {}
+        assert rows["flow"]["count"] == 5
+        assert rows["flow"]["ok"] == 3
+        assert rows["flow"]["errors"] == {"ServiceError": 2}
+        assert rows["girth"]["count"] == 1
+        assert rows["total"]["count"] == 12
+        assert rows["total"]["ok"] == 10
+        assert rows["total"]["connections"] == 3
+        for key in ("p50_s", "p95_s", "p99_s", "mean_s",
+                    "throughput_qps"):
+            assert rows["total"][key] >= 0
+        # percentiles are monotone by construction
+        assert rows["total"]["p50_s"] <= rows["total"]["p95_s"] \
+            <= rows["total"]["p99_s"]
+        assert report.error_count == 2
+        assert report.p99() == rows["total"]["p99_s"]
+
+    def test_on_result_sees_every_success(self):
+        seen = []
+        queries = [DistanceQuery("g", 0, i) for i in range(8)]
+        report = run_load(queries, lambda i: _StubTarget(),
+                          rate=5000.0, connections=2,
+                          on_result=seen.append)
+        assert sorted(q.g for q in seen) == list(range(8))
+        assert report.error_count == 0
+
+
+# ----------------------------------------------------------------------
+# error-frame counting under worker death (live server)
+# ----------------------------------------------------------------------
+def test_worker_death_mid_run_counts_error_frames():
+    g = randomize_weights(grid(4, 5), seed=3,
+                          directed_capacities=True)
+    pool = WarmWorkerPool(workers=2)
+    pool.register("g", g)
+    pool.prewarm(kinds=("distance",))
+    pool.start()
+    server = QueryServer(pool).start_background()
+    host, port = server.address
+    nf = g.num_faces()
+    queries = [DistanceQuery("g", i % nf, (i * 5) % nf)
+               for i in range(40)]
+
+    first_success = threading.Event()
+
+    def killer():
+        # wait for the run to be demonstrably under way, then kill
+        # every worker: all later arrivals must come back as typed
+        # ServiceError frames, which the load generator counts
+        # instead of dying on
+        first_success.wait(timeout=60)
+        while True:
+            try:
+                kill_pool_worker(pool)
+            except RuntimeError:
+                break
+
+    kt = threading.Thread(target=killer, daemon=True)
+    kt.start()
+    try:
+        report = run_load(
+            queries,
+            lambda i: ServiceClient(host, port, timeout=120).connect(),
+            rate=80.0, connections=2, seed=9,
+            on_result=lambda env: first_success.set())
+        kt.join(timeout=60)
+    finally:
+        server.shutdown()
+        pool.close()
+
+    rows = report.rows()["distance"]
+    assert rows["count"] == len(queries)           # nothing dropped
+    assert rows["ok"] >= 1                         # ran before the kill
+    assert rows["errors"].get("ServiceError", 0) >= 1
+    assert rows["ok"] + sum(rows["errors"].values()) == len(queries)
+    # every error is the pool's typed worker-death ServiceError, not a
+    # protocol failure or a crash of the generator itself
+    assert set(rows["errors"]) == {"ServiceError"}

@@ -721,6 +721,151 @@ def test_serve_helper_builds_and_serves():
 
 
 # ----------------------------------------------------------------------
+# worker-death harness (shared with tests/test_loadgen.py)
+# ----------------------------------------------------------------------
+def kill_pool_worker(pool, wid=None):
+    """Kill one live forked worker outright and wait for the corpse.
+
+    The pool's reaper then fails the corpse's in-flight futures with a
+    typed :class:`~repro.errors.ServiceError` and keeps serving on the
+    survivors — this helper is the shared way to provoke that path
+    (``tests/test_loadgen.py`` drives it mid-load to count the error
+    frames).  Returns the killed worker id.
+    """
+    live = sorted(w for w, p in pool._procs.items()
+                  if w not in pool._dead and p.is_alive())
+    if not live:
+        raise RuntimeError("no live worker left to kill")
+    if wid is None:
+        wid = live[0]
+    proc = pool._procs[wid]
+    proc.kill()
+    proc.join(timeout=10)
+    return wid
+
+
+def wait_for_reap(pool, wid, timeout=30):
+    """Block until the pool has noticed worker ``wid`` is dead."""
+    deadline = time.monotonic() + timeout
+    while wid not in pool._dead:
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"pool never reaped worker {wid}")
+        time.sleep(0.05)
+
+
+class TestWorkerDeath:
+    def test_pool_survives_killed_worker(self):
+        g = make_grid()
+        queries = mixed_queries("g", g)
+        expected = reference_results(g, queries)
+        pool = WarmWorkerPool(workers=2)
+        pool.register("g", g)
+        pool.prewarm(kinds=("flow", "distance", "girth"))
+        with pool:
+            wid = kill_pool_worker(pool)
+            # submissions racing the reaper either land on the
+            # survivor (correct answer) or are failed, typed, by the
+            # corpse's cleanup — never hang, never wrong
+            futures = [pool.submit(q) for q in queries * 3]
+            for f, q in zip(futures, queries * 3):
+                try:
+                    r = f.result(timeout=120)
+                except ServiceError as exc:
+                    assert "died" in str(exc)
+                else:
+                    assert r.result == \
+                        expected[queries.index(q)]
+            wait_for_reap(pool, wid)
+            # after the reap, the survivor serves everything
+            report = pool.run(queries)
+            assert report.values() == expected
+
+    def test_killed_worker_fails_only_its_inflight_queries(self):
+        g = make_grid()
+        q = GirthQuery("g")
+        expected = reference_results(g, [q])[0]
+        pool = WarmWorkerPool(workers=2)
+        pool.register("g", g)
+        with pool:
+            wid = kill_pool_worker(pool)
+            wait_for_reap(pool, wid)
+            for _ in range(4):
+                assert pool.submit(q).result(timeout=120).result \
+                    == expected
+
+
+# ----------------------------------------------------------------------
+# per-query batch error frames (duplicate-coalescing regression)
+# ----------------------------------------------------------------------
+class TestBatchErrorFrames:
+    def test_batch_partial_failure_default_raises_typed(self, served):
+        client = served["client"]
+        with pytest.raises(ServiceError, match="unknown graph"):
+            client.run([GirthQuery("g"), FlowQuery("missing", 0, 1)])
+        # the failure did not poison the connection or the batch verb
+        assert client.run([GirthQuery("g")]).values()[0] is not None
+
+    def test_batch_on_error_return_gives_per_query_outcomes(self, served):
+        client = served["client"]
+        good, bad = GirthQuery("g"), FlowQuery("missing", 0, 1)
+        report = client.run([good, bad, good], on_error="return")
+        ok0, err, ok2 = report.results
+        assert ok0.error is None and ok0.result is not None
+        assert isinstance(err.error, ServiceError)
+        assert err.result is None and err.warm is False
+        # the duplicate good query still coalesces
+        assert ok2.result is ok0.result and ok2.warm is True
+        with pytest.raises(ProtocolError, match="on_error"):
+            client.run([good], on_error="ignore")
+
+    def test_batch_wire_entries_carry_ok_flags(self, served):
+        client = served["client"]
+        response = client._call("batch", queries=[
+            wire.query_to_wire(GirthQuery("g")),
+            wire.query_to_wire(FlowQuery("missing", 0, 1))])
+        ok_entry, err_entry = response["results"]
+        assert ok_entry["ok"] is True and "result" in ok_entry
+        assert err_entry["ok"] is False
+        assert err_entry["error"]["type"] == "ServiceError"
+
+    def test_duplicate_queries_never_share_an_error_frame(self, served):
+        # regression: identical DistanceQuerys coalesced in one batch
+        # used to resolve to one shared exception after a
+        # NegativeCycleError — two load-gen connections (or one
+        # retry) would alias the same error object.  Every occurrence
+        # must now rebuild its own, value-identical instance.
+        g6 = make_grid(5, 6, seed=29)
+        client = served["client"]
+        client.register("wire-g6", g6)
+        q = DistanceQuery("wire-g6", 0, 5, leaf_size=10)
+        client.query(q)                       # warm a labeling
+        client.mutate_weights("wire-g6", {2: -9})
+        report = client.run([q, q], on_error="return")
+        e0, e1 = (r.error for r in report.results)
+        assert isinstance(e0, NegativeCycleError)
+        assert isinstance(e1, NegativeCycleError)
+        assert e0 is not e1                   # fresh per occurrence
+        assert str(e0) == str(e1) and e0.where == e1.where
+        assert isinstance(e0.where, tuple)    # site travelled intact
+        # retry safety: resending the batch yields equal but again
+        # distinct errors (nothing cached client- or server-side)
+        retry = client.run([q, q], on_error="return")
+        e2 = retry.results[0].error
+        assert e2 is not e0 and e2 is not e1
+        assert str(e2) == str(e0) and e2.where == e0.where
+        # default mode raises the typed error
+        with pytest.raises(NegativeCycleError):
+            client.run([q, q])
+        # recovery: rollback reprices and the same batch serves real
+        # results again, duplicate coalescing included
+        client.set_weights("wire-g6", weights=list(g6.weights))
+        healed = client.run([q, q])
+        want = reference_results(g6, [q], name="wire-g6")[0]
+        assert healed.values() == [want, want]
+        assert healed.results[1].warm is True
+
+
+# ----------------------------------------------------------------------
 # CLI end-to-end (subprocess, as CI runs it — incl. no-numpy env)
 # ----------------------------------------------------------------------
 class TestServerCLI:
