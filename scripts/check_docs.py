@@ -35,6 +35,7 @@ PUBLIC_MODULES = [
     "repro.bdd",
     "repro.analysis",
     "repro.baselines",
+    "repro.obs",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#]+)(?:#[^)]*)?\)")

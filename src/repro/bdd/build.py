@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 
+from repro import obs
 from repro.bdd.bags import BDD, Bag
 from repro.errors import DecompositionError, NotConnectedError
 from repro.planar.graph import SubgraphView
@@ -33,6 +34,15 @@ def build_bdd(graph, leaf_size=None, ledger=None, max_depth=None):
     ``leaf_size``: maximum edge count of a leaf bag (default
     Θ(D log n)); smaller values exercise deeper recursions.
     """
+    if not obs.enabled():
+        return _build_bdd(graph, leaf_size, ledger, max_depth)
+    with obs.span("bdd.build", m=graph.m, leaf_size=leaf_size) as sp:
+        bdd = _build_bdd(graph, leaf_size, ledger, max_depth)
+        sp.tag(bags=len(bdd.bags), depth=bdd.depth)
+        return bdd
+
+
+def _build_bdd(graph, leaf_size, ledger, max_depth):
     if not graph.is_connected():
         raise NotConnectedError("BDD requires a connected graph")
     if leaf_size is None:

@@ -69,8 +69,10 @@ full rebuild bit for bit.
 from __future__ import annotations
 
 import math
+import time
 from collections import deque
 
+from repro import obs
 from repro._artifacts import shared_cache, topo_token
 from repro._compat import np as _np
 from repro.engine.dijkstra import DijkstraWorkspace
@@ -377,8 +379,14 @@ def compile_labeling_bags(bdd, duals=None):
     """
     key = ("labels-bags", topo_token(bdd.graph), bdd.leaf_size,
            len(bdd.bags), bdd.depth)
-    return shared_cache().get_or_build(
-        key, lambda: CompiledLabelingBags(bdd, duals))
+
+    def build():
+        if not obs.enabled():
+            return CompiledLabelingBags(bdd, duals)
+        with obs.span("labeling.compile_bags", bags=len(bdd.bags)):
+            return CompiledLabelingBags(bdd, duals)
+
+    return shared_cache().get_or_build(key, build)
 
 
 class _InternalRepair:
@@ -419,13 +427,29 @@ def build_dual_labels_engine(labeling, compiled=None):
     lengths = labeling.lengths
     labels = labeling._labels
     state = getattr(labeling, "_repair", None)
-    for level in compiled.levels:
-        for bag_id, is_leaf in level:
-            if is_leaf:
-                _label_leaf(compiled, bag_id, lengths, labels)
-            else:
-                _label_internal(compiled, bag_id, lengths, labels,
-                                state=state)
+    if not obs.enabled():
+        for level in compiled.levels:
+            for bag_id, is_leaf in level:
+                if is_leaf:
+                    _label_leaf(compiled, bag_id, lengths, labels)
+                else:
+                    _label_internal(compiled, bag_id, lengths, labels,
+                                    state=state)
+        return labels
+    bags = sum(len(lv) for lv in compiled.levels)
+    with obs.span("labeling.build", bags=bags):
+        for level in compiled.levels:
+            for bag_id, is_leaf in level:
+                t0 = time.perf_counter()
+                if is_leaf:
+                    _label_leaf(compiled, bag_id, lengths, labels)
+                    obs.observe("labeling.leaf_apsp_seconds",
+                                time.perf_counter() - t0)
+                else:
+                    _label_internal(compiled, bag_id, lengths, labels,
+                                    state=state)
+                    obs.observe("labeling.ddg_relax_seconds",
+                                time.perf_counter() - t0)
     return labels
 
 
@@ -474,17 +498,39 @@ def repair_dual_labels_engine(labeling, changed, compiled=None,
              "total_bags": sum(len(lv) for lv in compiled.levels),
              "repaired_leaves": 0, "repaired_internal": 0,
              "sssp_children": 0, "reused_children": 0}
-    for level in compiled.levels:
-        for bag_id, is_leaf in level:
-            if bag_id not in dirty:
-                continue
-            if is_leaf:
-                _label_leaf(compiled, bag_id, lengths, labels)
-                stats["repaired_leaves"] += 1
-            else:
-                _label_internal(compiled, bag_id, lengths, labels,
-                                state=state, dirty=dirty, stats=stats)
-                stats["repaired_internal"] += 1
+    if not obs.enabled():
+        for level in compiled.levels:
+            for bag_id, is_leaf in level:
+                if bag_id not in dirty:
+                    continue
+                if is_leaf:
+                    _label_leaf(compiled, bag_id, lengths, labels)
+                    stats["repaired_leaves"] += 1
+                else:
+                    _label_internal(compiled, bag_id, lengths, labels,
+                                    state=state, dirty=dirty,
+                                    stats=stats)
+                    stats["repaired_internal"] += 1
+        return stats
+    with obs.span("labeling.repair", changed=len(changed),
+                  dirty=len(dirty)):
+        for level in compiled.levels:
+            for bag_id, is_leaf in level:
+                if bag_id not in dirty:
+                    continue
+                t0 = time.perf_counter()
+                if is_leaf:
+                    _label_leaf(compiled, bag_id, lengths, labels)
+                    stats["repaired_leaves"] += 1
+                    obs.observe("labeling.leaf_apsp_seconds",
+                                time.perf_counter() - t0)
+                else:
+                    _label_internal(compiled, bag_id, lengths, labels,
+                                    state=state, dirty=dirty,
+                                    stats=stats)
+                    stats["repaired_internal"] += 1
+                    obs.observe("labeling.ddg_relax_seconds",
+                                time.perf_counter() - t0)
     return stats
 
 

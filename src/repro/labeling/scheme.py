@@ -32,8 +32,10 @@ for cold :class:`~repro.service.queries.DistanceQuery` misses.
 from __future__ import annotations
 
 import math
+import time
 from collections import deque
 
+from repro import obs
 from repro.bdd.dual_bags import build_all_dual_bags
 from repro.errors import NegativeCycleError
 from repro.labeling.labels import INF, Label, LabelEntry, decode_distance
@@ -139,7 +141,12 @@ class DualDistanceLabeling:
 
     def distance(self, f, g):
         """dist_{G*}(f → g) decoded from the two labels."""
-        return decode_distance(self.label(f), self.label(g))
+        if not obs.enabled():
+            return decode_distance(self.label(f), self.label(g))
+        t0 = time.perf_counter()
+        d = decode_distance(self.label(f), self.label(g))
+        obs.observe("labeling.decode_seconds", time.perf_counter() - t0)
+        return d
 
     def all_labels_root(self):
         root = self.bdd.root.bag_id

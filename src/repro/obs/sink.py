@@ -1,0 +1,139 @@
+"""Span/metric sinks: where finished observability records go
+(DESIGN.md §13).
+
+A sink is anything with ``record_span(dict)`` and (optionally)
+``record_metrics(snapshot)``.  Two concrete sinks ship with the
+library:
+
+* :class:`RingBufferSink` — bounded in-memory deque; the test and
+  debugging sink (``sink.spans()`` hands back what happened);
+* :class:`NdjsonFileSink` — one JSON object per line, append-only,
+  flushed per record so a crashed process loses at most the partial
+  last line; the format ``python -m repro.obs tail/summarize`` reads.
+
+Sinks are registered process-wide via :func:`repro.obs.add_sink`;
+worker processes never need one — their spans ship to the pool master
+(see :mod:`repro.obs.trace`) and land in *its* sinks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+
+class Sink:
+    """Base class (also usable as a null sink)."""
+
+    def record_span(self, record):
+        pass
+
+    def record_metrics(self, snapshot):
+        pass
+
+    def close(self):
+        pass
+
+
+class RingBufferSink(Sink):
+    """Keep the last ``capacity`` spans (and metric snapshots) in
+    memory — the sink the tests and the benchmark assert against."""
+
+    def __init__(self, capacity=4096):
+        self._spans = deque(maxlen=capacity)
+        self._metrics = deque(maxlen=16)
+        self._lock = threading.Lock()
+
+    def record_span(self, record):
+        with self._lock:
+            self._spans.append(record)
+
+    def record_metrics(self, snapshot):
+        with self._lock:
+            self._metrics.append(snapshot)
+
+    def spans(self, trace=None, name=None):
+        """Recorded span dicts, optionally filtered by trace id and/or
+        span name."""
+        with self._lock:
+            out = list(self._spans)
+        if trace is not None:
+            out = [s for s in out if s.get("trace") == trace]
+        if name is not None:
+            out = [s for s in out if s.get("name") == name]
+        return out
+
+    def traces(self):
+        """Distinct trace ids, in first-seen order."""
+        seen = {}
+        for s in self.spans():
+            seen.setdefault(s.get("trace"), None)
+        return list(seen)
+
+    def clear(self):
+        with self._lock:
+            self._spans.clear()
+            self._metrics.clear()
+
+    def __len__(self):
+        return len(self._spans)
+
+
+class NdjsonFileSink(Sink):
+    """Append observability records to ``path`` as NDJSON.
+
+    Span lines are ``{"type": "span", ...record}``; metric lines are
+    ``{"type": "metrics", "at": epoch, "metrics": snapshot}``.  The
+    file is opened lazily and flushed per record.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = None
+        self._lock = threading.Lock()
+
+    def _file(self):
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def _write(self, payload):
+        line = json.dumps(payload, separators=(",", ":"))
+        with self._lock:
+            fh = self._file()
+            fh.write(line + "\n")
+            fh.flush()
+
+    def record_span(self, record):
+        self._write({"type": "span", **record})
+
+    def record_metrics(self, snapshot):
+        self._write({"type": "metrics", "at": time.time(),
+                     "metrics": snapshot})
+
+    def close(self):
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+def read_ndjson(path):
+    """Parse an :class:`NdjsonFileSink` file back into record dicts,
+    skipping blank/truncated lines (a crashed writer may leave one)."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue
+    return records
+
+
+__all__ = ["Sink", "RingBufferSink", "NdjsonFileSink", "read_ndjson"]

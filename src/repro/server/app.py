@@ -27,6 +27,7 @@ from __future__ import annotations
 import socketserver
 import threading
 
+from repro import obs
 from repro.errors import ProtocolError, ServiceError
 from repro.server import wire
 from repro.server.pool import WarmWorkerPool
@@ -107,7 +108,31 @@ class QueryServer:
     # ------------------------------------------------------------------
     def dispatch(self, frame):
         """One request frame -> one response frame (exceptions are the
-        caller's to wrap as error frames)."""
+        caller's to wrap as error frames).
+
+        With :mod:`repro.obs` enabled, the frame's optional ``trace``
+        field (``[trace_id, parent_span_id]``, attached client-side by
+        :class:`~repro.server.client.ServiceClient`) is adopted as the
+        ambient trace context, so the handler's ``server.<verb>`` span
+        — and everything below it, down to the forked worker — stitches
+        into the caller's trace.
+        """
+        if not obs.enabled():
+            return self._dispatch(frame)
+        verb = frame.get("verb")
+        token = None
+        ctx = frame.get("trace")
+        if (isinstance(ctx, (list, tuple)) and len(ctx) == 2
+                and all(isinstance(x, str) for x in ctx)):
+            token = obs.activate_trace(tuple(ctx))
+        try:
+            with obs.span(f"server.{verb}"):
+                return self._dispatch(frame)
+        finally:
+            if token is not None:
+                obs.deactivate_trace(token)
+
+    def _dispatch(self, frame):
         verb = frame.get("verb")
         out = {"v": wire.PROTOCOL_VERSION, "id": frame.get("id"),
                "ok": True}
@@ -169,6 +194,17 @@ class QueryServer:
         elif verb == "stats":
             out["stats"] = self.pool.stats(
                 worker_catalogs=bool(frame.get("worker_catalogs", True)))
+        elif verb == "metrics":
+            fmt = frame.get("format", "snapshot")
+            snap = self.pool.metrics()
+            if fmt == "snapshot":
+                out["metrics"] = snap
+            elif fmt == "prometheus":
+                out["prometheus"] = obs.render_prometheus(snap)
+            else:
+                raise ProtocolError(f"unknown metrics format {fmt!r}; "
+                                    f"expected 'snapshot' or "
+                                    f"'prometheus'")
         elif verb == "graphs":
             out["graphs"] = self.pool.catalog.names()
         elif verb == "ping":

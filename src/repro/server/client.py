@@ -26,6 +26,7 @@ from __future__ import annotations
 import socket
 import time
 
+from repro import obs
 from repro.errors import ProtocolError
 from repro.server import wire
 from repro.service.batch import BatchReport
@@ -42,6 +43,10 @@ class ServiceClient:
         self._sock = None
         self._file = None
         self._frame_id = 0
+        #: round-trips replayed over a fresh connection after a
+        #: transport drop, over this client's lifetime
+        self.reconnects = 0
+        self._last_retried = False
 
     # ------------------------------------------------------------------
     # connection
@@ -81,14 +86,28 @@ class ServiceClient:
     #: ``mutate_weights`` is absolute (edge id -> new weight, not a
     #: delta), so a resend after a reset is a value-identical no-op
     _RETRY_VERBS = frozenset(
-        {"query", "batch", "stats", "graphs", "ping", "set_weights",
-         "mutate_weights", "audit"})
+        {"query", "batch", "stats", "metrics", "graphs", "ping",
+         "set_weights", "mutate_weights", "audit"})
 
     def _call(self, verb, **payload):
+        if not obs.enabled():
+            return self._call_inner(verb, None, payload)
+        with obs.span(f"client.{verb}", host=self.host,
+                      port=self.port) as sp:
+            response = self._call_inner(
+                verb, [sp.trace_id, sp.span_id], payload)
+            if self._last_retried:
+                sp.tag(retried=True)
+            return response
+
+    def _call_inner(self, verb, trace_ctx, payload):
+        self._last_retried = False
         self.connect()
         self._frame_id += 1
         frame = {"v": wire.PROTOCOL_VERSION, "id": self._frame_id,
                  "verb": verb}
+        if trace_ctx is not None:
+            frame["trace"] = trace_ctx
         frame.update(payload)
         data = wire.encode_frame(frame)
         try:
@@ -103,6 +122,10 @@ class ServiceClient:
                 raise
             self.close()
             self.connect()
+            self.reconnects += 1
+            self._last_retried = True
+            if obs.enabled():
+                obs.inc("client.reconnects")
             response = self._roundtrip(data)
         if response.get("id") != frame["id"]:
             raise ProtocolError(
@@ -129,9 +152,13 @@ class ServiceClient:
 
     def query(self, query):
         """Serve one typed query; returns the
-        :class:`~repro.service.queries.QueryResult` envelope."""
+        :class:`~repro.service.queries.QueryResult` envelope (its
+        :attr:`~repro.service.queries.QueryResult.retried` flag is set
+        when the round-trip was replayed after a transport drop)."""
         response = self._call("query", query=wire.query_to_wire(query))
-        return wire.query_result_from_wire(query, response)
+        envelope = wire.query_result_from_wire(query, response)
+        envelope.retried = self._last_retried
+        return envelope
 
     def run(self, queries, on_error="raise"):
         """Serve a query mix in one round-trip; returns a
@@ -185,6 +212,7 @@ class ServiceClient:
         # while every failure occurrence rebuilds its own exception
         results = []
         seen = set()
+        retried = self._last_retried
         for q in queries:
             env = envelopes[index_of[q]]
             if isinstance(env, dict):   # error frame, never coalesced
@@ -197,6 +225,7 @@ class ServiceClient:
                 env = QueryResult(query=q, backend=env.backend,
                                   result=env.result, warm=True,
                                   seconds=0.0)
+            env.retried = retried
             seen.add(q)
             results.append(env)
         warm = sum(bool(r.warm) for r in results)
@@ -262,6 +291,21 @@ class ServiceClient:
         :meth:`~repro.server.pool.WarmWorkerPool.stats`)."""
         return self._call("stats",
                           worker_catalogs=worker_catalogs)["stats"]
+
+    def metrics(self, format="snapshot"):
+        """The server's aggregated :mod:`repro.obs` metrics registry
+        (master + every worker delta shipped so far).
+
+        ``format="snapshot"`` returns the JSON-safe registry snapshot
+        dict; ``format="prometheus"`` returns the Prometheus
+        text-exposition rendering as one string (what
+        ``python -m repro.obs scrape`` prints).  Empty when the server
+        runs with observability disabled.
+        """
+        response = self._call("metrics", format=format)
+        if format == "prometheus":
+            return response["prometheus"]
+        return response["metrics"]
 
 
 __all__ = ["ServiceClient"]

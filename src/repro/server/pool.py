@@ -50,20 +50,33 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future
 
+from repro import obs
 from repro.errors import RemoteError, ServiceError
 
 _PREWARM_KINDS = ("flow", "cut", "distance", "girth")
 
 
-def _worker_main(worker_id, catalog, snapshot, command_q, result_q):
+def _worker_main(worker_id, catalog, snapshot, command_q, result_q,
+                 obs_on=False):
     """Worker process entry point (top-level for spawn picklability).
 
     Exactly one of ``catalog`` (fork: the master catalog, inherited
     copy-on-write) and ``snapshot`` (spawn: pickled warm-state handoff)
     is set.
+
+    ``obs_on`` mirrors the master's :func:`repro.obs.enabled` at fork
+    time.  An observing worker runs in *shipping mode*: finished spans
+    and metric deltas buffer locally and ride back piggybacked on
+    every result-queue message (the 5th tuple element), where the
+    collector thread :func:`~repro.obs.ingest`\\ s them — so one
+    query's spans stitch into the submitting trace and the master
+    registry aggregates every worker.
     """
     from repro.service.queries import execute_query
 
+    if obs_on:
+        obs.enable()
+    obs.configure_shipping(True)  # inherited sinks must stay silent
     if catalog is None:
         catalog = snapshot.restore()
     while True:
@@ -72,12 +85,21 @@ def _worker_main(worker_id, catalog, snapshot, command_q, result_q):
         if verb == "stop":
             break
         if verb == "query":
-            _, job_id, query = msg
+            _, job_id, query, ctx, t_submit = msg
+            token = None
+            if obs.enabled():
+                obs.observe("pool.queue_wait_seconds",
+                            max(0.0, time.monotonic() - t_submit))
+                token = obs.activate_trace(ctx)
             try:
                 result_q.put((worker_id, job_id, True,
-                              execute_query(catalog, query)))
+                              execute_query(catalog, query),
+                              obs.ship_delta()))
             except Exception as exc:
-                result_q.put((worker_id, job_id, False, _ship_exc(exc)))
+                result_q.put((worker_id, job_id, False, _ship_exc(exc),
+                              obs.ship_delta()))
+            finally:
+                obs.deactivate_trace(token)
         elif verb == "register":
             _, name, graph, overwrite = msg
             try:
@@ -104,18 +126,28 @@ def _worker_main(worker_id, catalog, snapshot, command_q, result_q):
                 # the weights and dropped the labelings first, so the
                 # worker converges to the master's state
                 pass
+        elif verb == "obs":
+            _, on = msg
+            if on:
+                obs.enable()
+                obs.configure_shipping(True)
+            else:
+                obs.disable()
         elif verb == "audit":
             _, job_id, name, leaf_size, backend = msg
             try:
                 result_q.put((worker_id, job_id, True,
                               catalog.audit_labeling(
                                   name, leaf_size=leaf_size,
-                                  backend=backend)))
+                                  backend=backend),
+                              obs.ship_delta()))
             except Exception as exc:
-                result_q.put((worker_id, job_id, False, _ship_exc(exc)))
+                result_q.put((worker_id, job_id, False, _ship_exc(exc),
+                              obs.ship_delta()))
         elif verb == "stats":
             _, job_id = msg
-            result_q.put((worker_id, job_id, True, catalog.stats()))
+            result_q.put((worker_id, job_id, True, catalog.stats(),
+                          obs.ship_delta()))
 
 
 def _ship_exc(exc):
@@ -172,7 +204,7 @@ class WarmWorkerPool:
         self._result_q = None
         self._collector = None
         self._job_counter = 0
-        self._pending = deque()            # (job_id, query)
+        self._pending = deque()  # (job_id, query, trace_ctx, t_submit)
         self._futures = {}                 # job_id -> Future
         self._assigned = {}                # job_id -> worker_id
         self._job_kind = {}                # job_id -> "query" | "stats"
@@ -251,7 +283,7 @@ class WarmWorkerPool:
             proc = ctx.Process(
                 target=_worker_main,
                 args=(wid, self.catalog if method == "fork" else None,
-                      snapshot, cq, self._result_q),
+                      snapshot, cq, self._result_q, obs.enabled()),
                 daemon=True, name=f"repro-server-worker-{wid}")
             proc.start()
             self._procs[wid] = proc
@@ -326,6 +358,12 @@ class WarmWorkerPool:
                     self._account(type(query).__name__, r)
                     fut.set_result(r)
             return fut
+        # captured outside the lock: the ambient trace context of the
+        # submitting thread rides the command queue so the worker's
+        # spans stitch under the caller's span; t_submit (monotonic,
+        # cross-process comparable on this host) prices the queue wait
+        ctx = obs.current_trace() if obs.enabled() else None
+        t_submit = time.monotonic()
         with self._lock:
             # re-checked under the lock: a close() that won the race
             # has already doomed every registered future, and one
@@ -341,7 +379,7 @@ class WarmWorkerPool:
             job_id = self._job_counter
             self._futures[job_id] = fut
             self._job_kind[job_id] = "query"
-            self._pending.append((job_id, query))
+            self._pending.append((job_id, query, ctx, t_submit))
             self._fill()
         return fut
 
@@ -468,10 +506,12 @@ class WarmWorkerPool:
         with self._lock:
             occupancy = [{"worker": wid,
                           "alive": wid not in self._dead,
+                          "pid": self._procs[wid].pid,
                           "inflight": self._inflight.get(wid, 0),
                           "completed": self._completed.get(wid, 0)}
                          for wid in self._procs] or \
                         [{"worker": "in-process", "alive": True,
+                          "pid": os.getpid(),
                           "inflight": 0,
                           "completed": sum(
                               row["count"]
@@ -487,6 +527,11 @@ class WarmWorkerPool:
                  "occupancy": occupancy,
                  "by_kind": by_kind,
                  "master": master}
+        if obs.enabled():
+            # additive (wire-compatible) registry section: the same
+            # counters/latencies as by_kind plus every instrumented
+            # site, aggregated across shipped worker deltas
+            stats["metrics"] = obs.registry().snapshot()
         if worker_catalogs and self.workers and self._started \
                 and not self._closed:
             futures = {}
@@ -519,6 +564,20 @@ class WarmWorkerPool:
             stats["catalogs"] = catalogs
         return stats
 
+    def metrics(self):
+        """The aggregated :mod:`repro.obs` registry snapshot: the
+        master process's metrics plus every delta the workers have
+        shipped so far (piggybacked on their result-queue messages).
+        Empty dict when observability never ran."""
+        return obs.registry().snapshot()
+
+    def sync_obs(self):
+        """Broadcast the master's current :func:`repro.obs.enabled`
+        state to every worker — for toggling observability on a pool
+        that is already started (workers forked while it was off, or
+        vice versa)."""
+        self._broadcast(("obs", obs.enabled()))
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -540,10 +599,13 @@ class WarmWorkerPool:
             if not candidates:
                 return
             count, wid = min(candidates)
-            job_id, query = self._pending.popleft()
+            job_id, query, ctx, t_submit = self._pending.popleft()
             self._assigned[job_id] = wid
             self._inflight[wid] = count + 1
-            self._command_qs[wid].put(("query", job_id, query))
+            if obs.enabled():
+                obs.inc("pool.dispatched")
+            self._command_qs[wid].put(
+                ("query", job_id, query, ctx, t_submit))
 
     def _account(self, kind, result):
         row = self._by_kind.setdefault(
@@ -551,6 +613,14 @@ class WarmWorkerPool:
         row["count"] += 1
         row["warm"] += bool(result.warm)
         row["seconds"] += getattr(result, "seconds", 0.0)
+        if obs.enabled():
+            # the same rollup, re-expressed over the metrics registry
+            # (what the ``metrics`` wire verb exports)
+            obs.inc(f"pool.completed.{kind}")
+            if result.warm:
+                obs.inc(f"pool.warm.{kind}")
+            obs.observe(f"pool.serve_seconds.{kind}",
+                        getattr(result, "seconds", 0.0))
 
     def _collect(self):
         import queue as _queue
@@ -580,7 +650,9 @@ class WarmWorkerPool:
             if time.monotonic() - last_reap > 0.5:
                 self._reap_dead()
                 last_reap = time.monotonic()
-            wid, job_id, ok, payload = item
+            wid, job_id, ok, payload, obs_payload = item
+            if obs_payload:
+                obs.ingest(obs_payload)
             with self._lock:
                 fut = self._futures.pop(job_id, None)
                 kind = self._job_kind.pop(job_id, "query")
@@ -611,6 +683,10 @@ class WarmWorkerPool:
                     continue
                 self._dead.add(wid)
                 self._inflight[wid] = 0
+                if obs.enabled():
+                    obs.inc("pool.worker_deaths")
+                    obs.set_gauge("pool.workers_alive",
+                                  len(self._procs) - len(self._dead))
                 for job_id, owner in list(self._assigned.items()):
                     if owner == wid:
                         fut = self._futures.pop(job_id, None)
@@ -620,7 +696,7 @@ class WarmWorkerPool:
                             doomed.append((wid, fut))
             if self._dead and len(self._dead) == len(self._procs):
                 while self._pending:
-                    job_id, _q = self._pending.popleft()
+                    job_id = self._pending.popleft()[0]
                     fut = self._futures.pop(job_id, None)
                     self._job_kind.pop(job_id, None)
                     if fut is not None:

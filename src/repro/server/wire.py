@@ -36,9 +36,11 @@ the protocol):
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import asdict, fields
 
 import repro.errors as _errors
+from repro import obs
 from repro.core.girth import GirthResult
 from repro.core.maxflow import MaxFlowResult
 from repro.core.mincut import MinCutResult
@@ -73,13 +75,21 @@ _KIND_OF_QUERY = {cls: kind for kind, cls in QUERY_KINDS.items()}
 # ----------------------------------------------------------------------
 def encode_frame(payload):
     """One frame: compact JSON + newline, as bytes."""
-    return (json.dumps(payload, separators=(",", ":"))
+    if not obs.enabled():
+        return (json.dumps(payload, separators=(",", ":"))
+                + "\n").encode("utf-8")
+    t0 = time.perf_counter()
+    data = (json.dumps(payload, separators=(",", ":"))
             + "\n").encode("utf-8")
+    obs.inc("wire.frames_encoded")
+    obs.observe("wire.encode_seconds", time.perf_counter() - t0)
+    return data
 
 
 def decode_frame(line):
     """Parse one frame (bytes or str); :class:`ProtocolError` on bad
     JSON or a non-object payload."""
+    t0 = time.perf_counter() if obs.enabled() else 0.0
     if isinstance(line, bytes):
         line = line.decode("utf-8", errors="replace")
     try:
@@ -89,6 +99,9 @@ def decode_frame(line):
     if not isinstance(payload, dict):
         raise ProtocolError(f"frame must be a JSON object, got "
                             f"{type(payload).__name__}")
+    if obs.enabled():
+        obs.inc("wire.frames_decoded")
+        obs.observe("wire.decode_seconds", time.perf_counter() - t0)
     return payload
 
 

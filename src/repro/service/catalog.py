@@ -30,6 +30,7 @@ from __future__ import annotations
 import math
 import pickle
 
+from repro import obs
 from repro._artifacts import (
     ArtifactCache,
     Fingerprint,
@@ -150,7 +151,7 @@ class CatalogEntry:
             return PlanarMaxFlow(self.graph, directed=directed,
                                  leaf_size=leaf_size, backend=backend)
 
-        return self.catalog.artifacts.get_or_build(key, build)
+        return self.catalog._artifact(key, build)
 
     def bdd(self, leaf_size=None):
         """The bounded-diameter decomposition (topology only)."""
@@ -161,7 +162,7 @@ class CatalogEntry:
 
             return build_bdd(self.graph, leaf_size=leaf_size)
 
-        return self.catalog.artifacts.get_or_build(key, build)
+        return self.catalog._artifact(key, build)
 
     def labeling(self, leaf_size=None, backend="engine"):
         """The dual distance labeling under :func:`default_dual_lengths`
@@ -185,7 +186,7 @@ class CatalogEntry:
 
             bdd = self.bdd(leaf_size=leaf_size)
             duals_key = ("dual-bags", self.name, leaf_size)
-            duals = self.catalog.artifacts.get_or_build(
+            duals = self.catalog._artifact(
                 duals_key, lambda: build_all_dual_bags(bdd))
             return DualDistanceLabeling(bdd,
                                         default_dual_lengths(self.graph),
@@ -193,7 +194,7 @@ class CatalogEntry:
                                         repair_state=(backend
                                                       == "engine"))
 
-        return self.catalog.artifacts.get_or_build(key, build)
+        return self.catalog._artifact(key, build)
 
     def flow_workspace_pool(self):
         """Pool of :class:`~repro.engine.workspace.FlowWorkspace` over
@@ -207,7 +208,7 @@ class CatalogEntry:
             compiled = self.compiled()
             return WorkspacePool(lambda: FlowWorkspace(compiled))
 
-        return self.catalog.artifacts.get_or_build(key, build)
+        return self.catalog._artifact(key, build)
 
     def dijkstra_workspace_pool(self, num_ids=None):
         """Pool of :class:`~repro.engine.dijkstra.DijkstraWorkspace`
@@ -220,7 +221,7 @@ class CatalogEntry:
 
             return WorkspacePool(lambda: DijkstraWorkspace(n))
 
-        return self.catalog.artifacts.get_or_build(key, build)
+        return self.catalog._artifact(key, build)
 
 
 class GraphCatalog:
@@ -268,6 +269,17 @@ class GraphCatalog:
             raise ServiceError(f"unknown graph {name!r}; registered: "
                                f"{sorted(self._entries)}")
         return entry
+
+    def _artifact(self, key, build):
+        """``artifacts.get_or_build`` with per-kind hit/miss counters
+        (``catalog.artifact.{hit,miss}.<kind>``, where the kind is the
+        key's leading component — ``flow-solver``, ``bdd``,
+        ``labeling``, ...) when :mod:`repro.obs` is enabled."""
+        if obs.enabled():
+            hit = key in self.artifacts
+            obs.inc(f"catalog.artifact."
+                    f"{'hit' if hit else 'miss'}.{key[0]}")
+        return self.artifacts.get_or_build(key, build)
 
     def __contains__(self, name):
         return name in self._entries
@@ -324,6 +336,8 @@ class GraphCatalog:
             g.weights[:] = weights
         if capacities is not None:
             g.capacities[:] = capacities
+        if obs.enabled():
+            obs.inc("catalog.set_weights")
         return self.invalidate(name)
 
     def mutate_weights(self, name, edges, max_dirty_frac=0.5):
@@ -354,6 +368,19 @@ class GraphCatalog:
         (bit-identical) detection site is re-raised — the weights stay
         applied, exactly as a fresh build would find them.
         """
+        if not obs.enabled():
+            return self._mutate_weights(name, edges, max_dirty_frac)
+        with obs.span("catalog.mutate_weights", graph=name) as sp:
+            report = self._mutate_weights(name, edges, max_dirty_frac)
+            dirty = sum(row.get("dirty_bags", 0)
+                        for row in report["labelings"])
+            obs.inc("catalog.mutations")
+            if dirty:
+                obs.inc("catalog.reprice.dirty_bags", dirty)
+            sp.tag(changed=report["changed_edges"], dirty_bags=dirty)
+            return report
+
+    def _mutate_weights(self, name, edges, max_dirty_frac):
         entry = self.get(name)
         g = entry.graph
         updates = _edge_updates(name, g, edges)

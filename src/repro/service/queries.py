@@ -40,6 +40,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ServiceError
 
 #: backends a query may request; ``auto`` defers to the planner
@@ -127,6 +128,13 @@ class QueryResult:
     #: it, or retrying the query never affects another envelope that
     #: answered the same query
     error: object = None
+    #: True when the round-trip that served this envelope was replayed
+    #: over a fresh connection after a transport drop (set client-side
+    #: by :class:`~repro.server.client.ServiceClient`; always False for
+    #: in-process serving).  Lets latency consumers — e.g. the load
+    #: generator's percentile tables — distinguish queue wait from
+    #: transport recovery
+    retried: bool = False
 
 
 class QueryPlanner:
@@ -173,11 +181,33 @@ def execute_query(catalog, query, planner=None):
     The result cache key embeds the resolved backend and the graph's
     current weight/capacity hashes, so repeats are warm hits and
     in-place weight mutation is never served stale.
+
+    With :mod:`repro.obs` enabled, each call runs inside a
+    ``query.execute`` span — the per-query root when no trace context
+    is active (this is where a trace id is minted), a child span when
+    one arrived over the wire or a pool command queue — and feeds the
+    ``service.result.hit``/``miss`` counters plus a per-kind latency
+    histogram.
     """
     entry = catalog.get(query.graph)
     if planner is None:
         planner = catalog.planner
     backend = planner.plan(query, entry.graph)
+    if not obs.enabled():
+        return _serve(catalog, entry, query, backend)
+    kind = type(query).__name__
+    with obs.span("query.execute", kind=kind, graph=query.graph,
+                  backend=backend) as sp:
+        r = _serve(catalog, entry, query, backend)
+        sp.tag(warm=r.warm)
+        obs.inc("service.result.hit" if r.warm
+                else "service.result.miss")
+        obs.observe(f"service.query_seconds.{kind}", r.seconds)
+        return r
+
+
+def _serve(catalog, entry, query, backend):
+    """The uninstrumented serving core (cache probe + dispatch)."""
     fp = entry.fingerprint()
 
     t0 = time.perf_counter()

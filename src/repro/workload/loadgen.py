@@ -35,6 +35,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
+
 
 def arrival_schedule(rate, count, seed=None):
     """``count`` arrival offsets (seconds from start) at ``rate``
@@ -85,6 +87,9 @@ class KindStats:
     kind: str
     latencies: list = field(default_factory=list)
     errors: dict = field(default_factory=dict)
+    #: successful round-trips that were replayed over a fresh
+    #: connection after a transport drop (``QueryResult.retried``)
+    retried: int = 0
 
     @property
     def count(self):
@@ -96,6 +101,7 @@ class KindStats:
         row = {"count": self.count,
                "ok": len(self.latencies),
                "errors": dict(sorted(self.errors.items())),
+               "retried": self.retried,
                "throughput_qps": (len(self.latencies) / seconds
                                   if seconds > 0 else 0.0)}
         if self.latencies:
@@ -119,6 +125,7 @@ class LoadReport:
         merged = KindStats("total")
         for stats in self.by_kind.values():
             merged.latencies.extend(stats.latencies)
+            merged.retried += stats.retried
             for name, n in stats.errors.items():
                 merged.errors[name] = merged.errors.get(name, 0) + n
         return merged
@@ -185,7 +192,8 @@ def run_load(queries, make_target, rate=200.0, connections=4,
                 if delay > 0:
                     time.sleep(delay)
                 arrived = start + at
-                stats = stats_for(_kind_of(query))
+                kind = _kind_of(query)
+                stats = stats_for(kind)
                 try:
                     envelope = target.query(query)
                 except Exception as exc:
@@ -193,10 +201,20 @@ def run_load(queries, make_target, rate=200.0, connections=4,
                     with lock:
                         stats.errors[name] = \
                             stats.errors.get(name, 0) + 1
+                    if obs.enabled():
+                        obs.inc(f"loadgen.errors.{kind}")
                 else:
                     latency = time.perf_counter() - arrived
+                    retried = bool(getattr(envelope, "retried", False))
                     with lock:
                         stats.latencies.append(latency)
+                        if retried:
+                            stats.retried += 1
+                    if obs.enabled():
+                        obs.observe(f"loadgen.latency_seconds.{kind}",
+                                    latency)
+                        if retried:
+                            obs.inc(f"loadgen.retried.{kind}")
                     if on_result is not None:
                         on_result(envelope)
         finally:
