@@ -1,10 +1,41 @@
 """E9 (Section 5.1): BDD shape certification — depth O(log n), |S_X|
 and bag diameters Õ(D), face-parts O(log n) — across diameter regimes
-from wheels (D=2) to ladders (D=n/2)."""
+from wheels (D=2) to ladders (D=n/2) — plus the engine-vs-legacy
+construction backends (DESIGN.md §14).
+
+Two modes:
+
+* under pytest (part of the benchmark suite): times the shape
+  certification and leaf-size ablation as before, and times
+  ``build_bdd(backend="engine")`` against the legacy recursion on the
+  family instances, asserting *bit-identical* decompositions inline
+  (:func:`repro.bdd.bdd_signature`);
+
+* as a script, the headline experiment of the decomposition engine —
+
+      PYTHONPATH=src python benchmarks/bench_bdd.py \
+          [--rows 64] [--cols 64] [--json BENCH_bdd.json]
+
+  races the engine backend (bit-packed all-pairs-BFS diameter + array
+  separator kernels) against the legacy cold build on a rows x cols
+  grid, asserting signature equality on the results, then checks the
+  topology-keyed decomposition cache: a ``GraphCatalog.set_weights``
+  reprice must rebuild the labeling with **zero** separator calls
+  (``bdd.separator.calls`` obs counter) because the BDD and dual bags
+  are keyed by topology token in the engine's shared cache.
+
+  Acceptance (both CI-gated): cold speedup >= 5x on the 64x64 grid,
+  and zero decomposition cost on reprice.
+"""
+
+import argparse
+import sys
+import time
 
 import pytest
+from _json_out import add_json_arg, emit_json
 
-from repro.bdd import build_bdd, validate_bdd
+from repro.bdd import bdd_signature, build_bdd, validate_bdd
 from repro.planar.generators import (
     grid,
     ladder,
@@ -55,3 +86,117 @@ def test_bdd_leaf_size_ablation(benchmark, leaf):
         "depth": bdd.depth,
         "bags": len(bdd.bags),
     })
+
+
+@pytest.mark.parametrize("name,maker", [
+    ("grid", lambda: grid(12, 12)),
+    ("delaunay", lambda: random_planar(200, seed=3)),
+])
+def test_engine_bdd_backend(benchmark, name, maker):
+    """Engine backend vs legacy on the same instance, bit-parity
+    asserted inline on the full decomposition signature."""
+    g = maker()
+
+    def run():
+        return build_bdd(g, backend="engine")
+
+    eng = benchmark.pedantic(run, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    ref = build_bdd(g)
+    legacy_s = time.perf_counter() - t0
+    assert bdd_signature(eng) == bdd_signature(ref), \
+        f"engine BDD diverges from legacy on {name}"
+    benchmark.extra_info.update({
+        "n": g.n, "bags": len(eng.bags),
+        "legacy_s": round(legacy_s, 4),
+    })
+
+
+def _reprice_check(rows, cols):
+    """Warm a catalog labeling, reprice, count separator calls."""
+    from repro import obs
+    from repro.obs import RingBufferSink
+    from repro.service.catalog import GraphCatalog
+
+    g = grid(rows, cols)
+    cat = GraphCatalog()
+    cat.register("bench", g)
+    cat.get("bench").labeling()          # cold: builds BDD + labels
+
+    def counter(name):
+        snap = obs.registry().snapshot()
+        return snap.get(name, {}).get("value", 0)
+
+    obs.enable(RingBufferSink())
+    try:
+        before = counter("bdd.separator.calls")
+        t0 = time.perf_counter()
+        cat.set_weights("bench", weights=[2.0] * g.m)
+        cat.get("bench").labeling()      # reprice rebuild
+        reprice_s = time.perf_counter() - t0
+        calls = counter("bdd.separator.calls") - before
+        hits = counter("catalog.artifact.hit.bdd")
+    finally:
+        obs.disable()
+    return calls, hits, reprice_s
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rows", type=int, default=64)
+    ap.add_argument("--cols", type=int, default=64)
+    ap.add_argument("--reprice-rows", type=int, default=24,
+                    help="grid size of the set_weights reprice check "
+                         "(kept small: its cost is label building, the "
+                         "gate is the separator-call count)")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+
+    g = grid(args.rows, args.cols)
+    print(f"instance: {args.rows}x{args.cols} grid, n={g.n}, m={g.m}")
+
+    t0 = time.perf_counter()
+    eng = build_bdd(g, backend="engine")
+    engine_s = max(time.perf_counter() - t0, 1e-9)
+    print(f"engine backend : {engine_s:.2f}s "
+          f"(leaf_size={eng.leaf_size}, bags={len(eng.bags)})")
+
+    t0 = time.perf_counter()
+    ref = build_bdd(g)
+    legacy_s = time.perf_counter() - t0
+    print(f"legacy backend : {legacy_s:.2f}s")
+
+    parity = bdd_signature(eng) == bdd_signature(ref)
+    assert parity, "engine BDD is not bit-identical to legacy"
+    print("parity         : decomposition signatures bit-identical")
+
+    speedup = legacy_s / engine_s
+    print(f"speedup        : {speedup:.1f}x")
+
+    calls, hits, reprice_s = _reprice_check(args.reprice_rows,
+                                            args.reprice_rows)
+    print(f"reprice        : {args.reprice_rows}x{args.reprice_rows} "
+          f"set_weights rebuild in {reprice_s:.2f}s, "
+          f"{calls} separator calls, {hits} BDD cache hits")
+
+    ok = speedup >= 5.0 and calls == 0 and parity
+    print(f"acceptance (>= 5x, 0 separator calls on reprice): "
+          f"{'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "bdd", {
+        "instance": {"rows": args.rows, "cols": args.cols, "n": g.n,
+                     "m": g.m, "leaf_size": eng.leaf_size,
+                     "bags": len(eng.bags)},
+        "engine_s": engine_s,
+        "legacy_s": legacy_s,
+        "speedup": speedup,
+        "parity": parity,
+        "reprice": {"rows": args.reprice_rows,
+                    "separator_calls": calls,
+                    "bdd_cache_hits": hits,
+                    "seconds": reprice_s},
+    }, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,12 +2,13 @@
 
 from repro.bdd.bags import BDD, Bag
 from repro.bdd.build import build_bdd, default_leaf_size
-from repro.bdd.checks import validate_bdd
+from repro.bdd.checks import bdd_signature, validate_bdd
 from repro.bdd.dual_bags import DualBag, build_all_dual_bags, build_dual_bag
 
 __all__ = [
     "BDD",
     "Bag",
+    "bdd_signature",
     "build_bdd",
     "default_leaf_size",
     "validate_bdd",

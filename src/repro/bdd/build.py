@@ -8,6 +8,21 @@ follow the side of the closed curve they are enclosed by (Lemma 5.5).
 
 Distributively this costs Õ(D) rounds per level ([17], [27]); the ledger
 is charged the measured BFS depths and separator sizes.
+
+Two construction backends share this one recursion loop (and therefore
+every forced-leaf decision, ledger charge and error site):
+
+* ``backend="legacy"`` (default) — the reference substrate:
+  :class:`~repro.planar.graph.SubgraphView` per bag, dict-keyed BFS and
+  faces, :func:`~repro.planar.separator.fundamental_cycle_separator`;
+* ``backend="engine"`` — :class:`repro.engine.decomp.DecompKernels`:
+  the same separator algorithm over the compiled CSR arrays (flat BFS
+  frontiers, array-built face walks, vectorized dual-subtree weights,
+  int edge-id splitting) plus a bit-packed all-pairs-BFS diameter
+  kernel for the default leaf size.  **Bit-identical output** — same
+  bag ids, levels, sorted ``edge_ids``, ``live_darts``, separator
+  metadata, ``forced_leaves`` and error sites — enforced by
+  ``tests/test_engine_bdd_parity.py``.
 """
 
 from __future__ import annotations
@@ -21,32 +36,95 @@ from repro.planar.graph import SubgraphView
 from repro.planar.separator import fundamental_cycle_separator
 
 
-def default_leaf_size(graph):
-    """Paper leaf size O(D log n) (BDD property 3)."""
+def default_leaf_size(graph, diameter=None):
+    """Paper leaf size O(D log n) (BDD property 3).
+
+    ``diameter`` short-circuits the exact hop-diameter computation when
+    the caller already knows it (the engine backend computes it with the
+    bit-packed BFS kernel instead of ``graph.diameter()``'s
+    BFS-per-vertex loop — same value, orders of magnitude faster).
+    """
     n = max(graph.n, 2)
-    d = max(graph.diameter(), 1)
+    d = max(graph.diameter() if diameter is None else diameter, 1)
     return max(16, d * math.ceil(math.log2(n)))
 
 
-def build_bdd(graph, leaf_size=None, ledger=None, max_depth=None):
+class _LegacyKernels:
+    """Reference decomposition substrate over :class:`SubgraphView`."""
+
+    def __init__(self, graph):
+        self.graph = graph
+
+    def is_connected(self):
+        return self.graph.is_connected()
+
+    def diameter(self):
+        return self.graph.diameter()
+
+    def separate(self, bag):
+        return fundamental_cycle_separator(bag.view())
+
+    def children(self, bag, sep):
+        """``(edge_ids, live_darts)`` of each child bag, interior
+        components first (Lemma 5.5 side rule for the live darts)."""
+        out = []
+        inside = sep.inside_darts
+        for side_edges, is_inside in _split_edges(bag.view(), sep):
+            live = {d for d in bag.live_darts
+                    if (d >> 1) in side_edges and
+                    ((d in inside) if is_inside else (d not in inside))}
+            out.append((side_edges, live))
+        return out
+
+
+def _make_kernels(graph, backend):
+    if backend == "legacy":
+        return _LegacyKernels(graph)
+    if backend == "engine":
+        from repro.engine.decomp import DecompKernels
+
+        return DecompKernels(graph)
+    raise ValueError(f"unknown BDD backend {backend!r}; expected "
+                     f"'legacy' or 'engine'")
+
+
+def build_bdd(graph, leaf_size=None, ledger=None, max_depth=None,
+              backend="legacy"):
     """Build a BDD of an embedded connected planar graph.
 
     ``leaf_size``: maximum edge count of a leaf bag (default
     Θ(D log n)); smaller values exercise deeper recursions.
+    ``backend``: ``"legacy"`` (default, the round-audited reference) or
+    ``"engine"`` (array kernels, bit-identical result — see the module
+    docstring).
     """
+    kernels = _make_kernels(graph, backend)
     if not obs.enabled():
-        return _build_bdd(graph, leaf_size, ledger, max_depth)
-    with obs.span("bdd.build", m=graph.m, leaf_size=leaf_size) as sp:
-        bdd = _build_bdd(graph, leaf_size, ledger, max_depth)
+        return _build_bdd(graph, leaf_size, ledger, max_depth, kernels)
+    with obs.span("bdd.build", m=graph.m, leaf_size=leaf_size,
+                  backend=backend) as sp:
+        bdd = _build_bdd(graph, leaf_size, ledger, max_depth, kernels)
         sp.tag(bags=len(bdd.bags), depth=bdd.depth)
         return bdd
 
 
-def _build_bdd(graph, leaf_size, ledger, max_depth):
-    if not graph.is_connected():
+def _separate(kernels, bag):
+    """One separator call, traced per level when obs is on."""
+    if not obs.enabled():
+        return kernels.separate(bag)
+    obs.inc("bdd.separator.calls")
+    with obs.span("bdd.separator", level=bag.level, m=bag.m) as sp:
+        sep = kernels.separate(bag)
+        sp.tag(balance=round(sep.balance, 4),
+               sx=len(sep.cycle_vertices), bfs_depth=sep.tree_depth)
+        return sep
+
+
+def _build_bdd(graph, leaf_size, ledger, max_depth, kernels):
+    if not kernels.is_connected():
         raise NotConnectedError("BDD requires a connected graph")
     if leaf_size is None:
-        leaf_size = default_leaf_size(graph)
+        leaf_size = default_leaf_size(graph, diameter=kernels.diameter())
     if max_depth is None:
         max_depth = 4 * math.ceil(math.log2(max(graph.m, 2))) + 8
 
@@ -74,8 +152,7 @@ def _build_bdd(graph, leaf_size, ledger, max_depth):
             raise DecompositionError(
                 f"BDD exceeded depth {max_depth}; separator balance broke")
 
-        view = bag.view()
-        sep = fundamental_cycle_separator(view)
+        sep = _separate(kernels, bag)
         bag.sx_vertices = list(sep.cycle_vertices)
         bag.sx_edge_ids = sorted(set(sep.cycle_edge_ids) |
                                  ({sep.chord_eid} if not sep.chord_virtual
@@ -92,8 +169,8 @@ def _build_bdd(graph, leaf_size, ledger, max_depth):
                                  f"{len(sep.cycle_vertices)}",
                           ref="[17]/[27] via DESIGN.md substitution 2")
 
-        children_edges = _split_edges(view, sep)
-        if any(len(ch) >= bag.m for ch, _ in children_edges):
+        children = kernels.children(bag, sep)
+        if any(len(ch) >= bag.m for ch, _ in children):
             # separator failed to make progress; keep as leaf
             forced_leaves += 1
             bag.sx_vertices = None
@@ -101,11 +178,7 @@ def _build_bdd(graph, leaf_size, ledger, max_depth):
             bag.ex_endpoints = None
             continue
 
-        inside = sep.inside_darts
-        for side_edges, is_inside in children_edges:
-            live = {d for d in bag.live_darts
-                    if (d >> 1) in side_edges and
-                    ((d in inside) if is_inside else (d not in inside))}
+        for side_edges, live in children:
             child = new_bag(bag.level + 1, side_edges, live, bag)
             stack.append(child)
 

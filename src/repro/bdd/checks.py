@@ -177,3 +177,25 @@ def _check_dual_separator(g, bag, dual):
                     continue
                 seen.add(h)
                 stack.append(h)
+
+
+def bdd_signature(bdd):
+    """Canonical hashable fingerprint of a BDD's full structure.
+
+    Covers everything :func:`~repro.bdd.build.build_bdd` determines:
+    bag ids, levels, parents, sorted ``edge_ids``, ``live_darts``,
+    separator metadata (S_X vertices/edges, ex endpoints and
+    virtuality, balance, BFS depth), plus leaf size and forced-leaf
+    count.  Two builds are bit-identical iff their signatures are
+    equal — the parity contract between the ``legacy`` and ``engine``
+    backends (tests/test_engine_bdd_parity.py, benchmarks/bench_bdd.py).
+    """
+    bags = tuple(
+        (b.bag_id, b.level,
+         b.parent.bag_id if b.parent is not None else -1,
+         tuple(b.edge_ids), tuple(sorted(b.live_darts)),
+         tuple(b.sx_vertices) if b.sx_vertices is not None else None,
+         tuple(b.sx_edge_ids) if b.sx_edge_ids is not None else None,
+         b.ex_endpoints, b.ex_virtual, b.separator_balance, b.bfs_depth)
+        for b in bdd.bags)
+    return (bdd.leaf_size, bdd.forced_leaves, bdd.depth, bags)

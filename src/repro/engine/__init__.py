@@ -31,15 +31,21 @@ Two kernel families run on the compiled arrays:
 * the labeling kernels (:mod:`repro.engine.labels`) for the Theorem 2.1
   distance-label construction: compiled per-bag dual slices sharing the
   Bellman–Ford workspaces, batched leaf APSP, and the int-indexed
-  Section 5.3 DDG relaxation — bit-identical labels, built on arrays.
+  Section 5.3 DDG relaxation — bit-identical labels, built on arrays;
+* the decomposition kernels (:mod:`repro.engine.decomp`) for the
+  Lemma 5.1 BDD construction: bit-packed all-pairs-BFS diameter, flat
+  frontier-array separator BFS, vectorized dual-subtree weights and
+  int edge-id bag splitting — bit-identical BDDs via
+  ``build_bdd(graph, backend="engine")``.
 
 Select the engine per call with ``backend="engine"`` on
 :func:`repro.core.max_st_flow`, :func:`repro.core.min_st_cut`,
 :func:`repro.core.approx_max_st_flow`,
 :func:`repro.core.weighted_girth`,
 :func:`repro.core.directed_weighted_girth`,
-:func:`repro.core.directed_global_mincut` and
-:meth:`repro.planar.dual.DualGraph.bellman_ford`; the default
+:func:`repro.core.directed_global_mincut`,
+:meth:`repro.planar.dual.DualGraph.bellman_ford` and
+:func:`repro.bdd.build_bdd`; the default
 ``backend="legacy"`` keeps the round-audited reference path.  See
 DESIGN.md §6–§7 for the architecture and docs/API.md for the full
 backend support matrix.
@@ -47,6 +53,7 @@ backend support matrix.
 
 from repro.engine.csr import CompiledPlanarGraph, compile_graph
 from repro.engine.cycles import DartCycleOracle, cycle_side_faces
+from repro.engine.decomp import DecompKernels, engine_diameter
 from repro.engine.dijkstra import DijkstraWorkspace, TwoBestDijkstra
 from repro.engine.labels import (
     CompiledBagSlice,
@@ -65,6 +72,8 @@ __all__ = [
     "TwoBestDijkstra",
     "DartCycleOracle",
     "cycle_side_faces",
+    "DecompKernels",
+    "engine_diameter",
     "CompiledBagSlice",
     "CompiledLabelingBags",
     "compile_labeling_bags",

@@ -1,0 +1,544 @@
+"""Engine-backed BDD construction: array separator kernels (DESIGN.md §14).
+
+The Lemma 5.1 bounded-diameter decomposition was the last legacy-only
+substrate on the serving cold path: every :class:`~repro.service.
+queries.DistanceQuery` miss paid a pure-Python recursion of
+:class:`~repro.planar.graph.SubgraphView` construction, dict-keyed BFS
+and face walks — and, dominating everything, the
+``graph.diameter()`` BFS-per-vertex loop behind the default leaf size.
+This module re-runs the *same algorithm* over the compiled CSR arrays
+of :class:`~repro.engine.csr.CompiledPlanarGraph`:
+
+* **diameter kernel** — exact all-pairs BFS with sources bit-packed
+  into uint64 lanes: one ``visited[n, n/64]`` closure matrix, one
+  gather + ``bitwise_or.reduceat`` per BFS level, the level count at
+  fixpoint *is* the diameter.  O(n·m/64) words per level instead of
+  ``n`` separate Python BFS runs;
+* **separator kernels** — per bag: the live-rotation sub-CSR is sliced
+  with one boolean gather, BFS runs level-synchronous over frontier
+  arrays (first-discovery order reproduces the legacy FIFO parents
+  exactly), face walks follow a flat next-in-face permutation array,
+  dual-subtree weights come from ``bincount`` over the triangle ids,
+  and bag splitting works on int edge-id arrays plus a union-find —
+  no ``SubgraphView`` and no per-bag dicts;
+* **shared reference helpers** — ear-clip triangulation and the
+  fundamental-cycle path extraction are the *same functions* as the
+  legacy path (:func:`repro.planar.separator.ear_clip` /
+  :func:`~repro.planar.separator.fundamental_cycle_paths`), so chord
+  endpoints, triangle ids and cycle order agree by construction.
+
+Bit-identical contract: ``build_bdd(graph, backend="engine")`` produces
+the same bags (ids, levels, sorted ``edge_ids``, ``live_darts``
+frozensets), the same separator metadata (``sx_vertices`` /
+``sx_edge_ids`` / ``ex_endpoints`` / balance / BFS depth), the same
+``forced_leaves`` count and the same
+:class:`~repro.errors.DecompositionError` /
+:class:`~repro.errors.NotConnectedError` sites as the legacy backend —
+the recursion loop itself is shared (:mod:`repro.bdd.build`) and only
+the per-bag kernels differ.  Enforced by
+``tests/test_engine_bdd_parity.py``.
+
+Without numpy (``REPRO_ENGINE_NO_NUMPY=1``) the separator kernels
+delegate to the legacy substrate (bit-identical by construction) while
+the diameter/connectivity kernels keep an array form with Python
+big-int bitsets — the diameter is where the legacy cold path spends
+almost all of its time, so the fallback still wins large factors.
+"""
+
+from __future__ import annotations
+
+from repro._compat import np as _np
+from repro.engine.csr import compile_graph
+from repro.errors import (
+    DecompositionError,
+    EmbeddingError,
+    NotConnectedError,
+)
+from repro.planar.separator import ear_clip, fundamental_cycle_paths
+
+
+class EngineSeparator:
+    """Array-backed analogue of :class:`~repro.planar.separator.
+    SeparatorResult` — the public fields the shared recursion loop
+    reads, plus the private dart-side mask the splitting kernel uses."""
+
+    __slots__ = ("cycle_vertices", "cycle_edge_ids", "chord_endpoints",
+                 "chord_virtual", "chord_eid", "critical_view_face",
+                 "balance", "tree_depth", "_inside", "_eids")
+
+    def __init__(self, cycle_vertices, cycle_edge_ids, chord_endpoints,
+                 chord_virtual, chord_eid, critical_view_face, balance,
+                 tree_depth, inside, eids):
+        self.cycle_vertices = cycle_vertices
+        self.cycle_edge_ids = cycle_edge_ids
+        self.chord_endpoints = chord_endpoints
+        self.chord_virtual = chord_virtual
+        self.chord_eid = chord_eid
+        self.critical_view_face = critical_view_face
+        self.balance = balance
+        self.tree_depth = tree_depth
+        #: bool mask over global darts: strictly inside the cycle
+        self._inside = inside
+        #: the bag's sorted edge ids (int64 array)
+        self._eids = eids
+
+
+class DecompKernels:
+    """Decomposition substrate of ``build_bdd(backend="engine")``.
+
+    One instance per build; the compiled CSR topology it runs on comes
+    from the process-wide shared artifact cache
+    (:func:`repro.engine.csr.compile_graph`), so repeated builds —
+    and the flow/labeling kernels — share one compiled object.
+    """
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.compiled = compile_graph(graph)
+        self._legacy = None
+        if _np is not None:
+            c = self.compiled
+            self._head = _np.asarray(c.dart_head, dtype=_np.int64)
+            self._tail = _np.asarray(c.dart_tail, dtype=_np.int64)
+            self._prim_darts = _np.asarray(c.prim_darts, dtype=_np.int64)
+            self._prim_indptr = _np.asarray(c.prim_indptr,
+                                            dtype=_np.int64)
+
+    # ------------------------------------------------------------------
+    # connectivity / diameter kernels
+    # ------------------------------------------------------------------
+    def is_connected(self):
+        """Single flat BFS over the compiled rotation CSR (isolated
+        vertices count as components, as in ``PlanarGraph``)."""
+        n = self.graph.n
+        if n <= 1:
+            return True
+        indptr = self.compiled.prim_indptr
+        pd = self.compiled.prim_darts
+        head = self.compiled.dart_head
+        seen = bytearray(n)
+        seen[0] = 1
+        stack = [0]
+        count = 1
+        while stack:
+            v = stack.pop()
+            for i in range(indptr[v], indptr[v + 1]):
+                w = head[pd[i]]
+                if not seen[w]:
+                    seen[w] = 1
+                    count += 1
+                    stack.append(w)
+        return count == n
+
+    #: source-lane block of the packed diameter kernel (bits per chunk);
+    #: bounds the gather temporary at ``2m * CHUNK/8`` bytes.
+    DIAMETER_CHUNK = 2048
+
+    def diameter(self):
+        """Exact unweighted hop diameter of a *connected* graph.
+
+        All-pairs BFS with one source per bit lane: the reachability
+        closure ``visited[v]`` (a bitset over sources) grows by one OR
+        sweep over the in-darts per level, and the number of sweeps
+        until fixpoint is the diameter.  Raises
+        :class:`~repro.errors.NotConnectedError` when the closure never
+        completes.
+        """
+        g = self.graph
+        n = g.n
+        if n <= 1:
+            return 0
+        indptr = self.compiled.prim_indptr
+        if any(indptr[v + 1] == indptr[v] for v in range(n)):
+            raise NotConnectedError(
+                "diameter kernel requires a connected graph")
+        if _np is None:
+            return self._diameter_bigint()
+        return self._diameter_packed()
+
+    def _diameter_packed(self):
+        np = _np
+        n = self.graph.n
+        order = np.argsort(self._head, kind="stable")
+        tails_in = self._tail[order]           # in-darts grouped by head
+        indptr = np.searchsorted(self._head[order], np.arange(n + 1))
+        best = 0
+        for base in range(0, n, self.DIAMETER_CHUNK):
+            csize = min(self.DIAMETER_CHUNK, n - base)
+            w = (csize + 63) // 64
+            vis = np.zeros((n, w), dtype=np.uint64)
+            local = np.arange(csize)
+            vis[base + local, local >> 6] = (
+                np.uint64(1) << (local & 63).astype(np.uint64))
+            full = np.full(w, ~np.uint64(0), dtype=np.uint64)
+            if csize & 63:
+                full[-1] = (np.uint64(1) << np.uint64(csize & 63)) \
+                    - np.uint64(1)
+            rounds = 0
+            while True:
+                red = np.bitwise_or.reduceat(vis[tails_in],
+                                             indptr[:-1], axis=0)
+                new = vis | red
+                if np.array_equal(new, vis):
+                    break
+                vis = new
+                rounds += 1
+            if not np.array_equal(vis, np.broadcast_to(full, vis.shape)):
+                raise NotConnectedError(
+                    "diameter kernel requires a connected graph")
+            best = max(best, rounds)
+        return best
+
+    def _diameter_bigint(self):
+        """Numpy-free lane-packed closure: one Python big int per
+        vertex holds the source bitset; same fixpoint semantics."""
+        g = self.graph
+        n = g.n
+        head = self.compiled.dart_head
+        nbrs = [[head[d] for d in rot] for rot in g.rotations]
+        visited = [1 << v for v in range(n)]
+        full = (1 << n) - 1
+        rounds = 0
+        while True:
+            new = []
+            changed = False
+            for v in range(n):
+                acc = visited[v]
+                for u in nbrs[v]:
+                    acc |= visited[u]
+                if acc != visited[v]:
+                    changed = True
+                new.append(acc)
+            if not changed:
+                break
+            visited = new
+            rounds += 1
+        if any(x != full for x in visited):
+            raise NotConnectedError(
+                "diameter kernel requires a connected graph")
+        return rounds
+
+    #: bags at or below this edge count run on the legacy dict kernels:
+    #: the array passes allocate O(global darts) scratch per bag, which
+    #: swamps tiny bags deep in the recursion (both substrates are
+    #: bit-identical, so mixing per bag is safe)
+    SMALL_BAG_EDGES = 512
+
+    # ------------------------------------------------------------------
+    # separator kernel
+    # ------------------------------------------------------------------
+    def _legacy_kernels(self):
+        if self._legacy is None:
+            from repro.bdd.build import _LegacyKernels
+
+            self._legacy = _LegacyKernels(self.graph)
+        return self._legacy
+
+    def separate(self, bag):
+        """Balanced fundamental-cycle separator of ``bag`` — the array
+        form of :func:`~repro.planar.separator.
+        fundamental_cycle_separator` on the bag's implicit view."""
+        if _np is None or bag.m <= self.SMALL_BAG_EDGES:
+            return self._legacy_kernels().separate(bag)
+        np = _np
+        g = self.graph
+        n = g.n
+        nd = self.compiled.num_darts
+        tail_l = self.compiled.dart_tail       # Python lists: fast
+        eids = np.asarray(bag.edge_ids, dtype=np.int64)
+        m_bag = int(eids.size)
+        if m_bag == 0:
+            raise NotConnectedError("empty view")
+        darts = np.empty(2 * m_bag, dtype=np.int64)
+        darts[0::2] = 2 * eids
+        darts[1::2] = 2 * eids + 1
+
+        # live-rotation sub-CSR: the parent rotations restricted to the
+        # bag's darts, in rotation order (one boolean gather)
+        dart_live = np.zeros(nd, dtype=bool)
+        dart_live[darts] = True
+        sub_rot = self._prim_darts[dart_live[self._prim_darts]]
+        tails = self._tail[sub_rot]            # nondecreasing by vertex
+        sub_indptr = np.searchsorted(tails, np.arange(n + 1))
+        nverts = int(np.count_nonzero(sub_indptr[1:] > sub_indptr[:-1]))
+
+        # --- BFS (level-synchronous == the legacy FIFO order) ----------
+        root = g.edges[int(eids[0])][0]
+        dist = np.full(n, -1, dtype=np.int64)
+        parent = np.full(n, -1, dtype=np.int64)
+        dist[root] = 0
+        frontier = np.array([root], dtype=np.int64)
+        level = 0
+        reached = 1
+        while frontier.size:
+            starts = sub_indptr[frontier]
+            counts = sub_indptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            cum = np.cumsum(counts)
+            pos = np.arange(total) - np.repeat(cum - counts, counts)
+            darts_f = sub_rot[np.repeat(starts, counts) + pos]
+            heads = self._head[darts_f]
+            cand = np.nonzero(dist[heads] < 0)[0]
+            if cand.size == 0:
+                break
+            by_head = np.argsort(heads[cand], kind="stable")
+            hs = heads[cand][by_head]
+            first = np.empty(hs.size, dtype=bool)
+            first[0] = True
+            first[1:] = hs[1:] != hs[:-1]
+            # first scan position per newly met vertex, in scan order:
+            # exactly the legacy parent dart and queue order
+            sel = np.sort(cand[by_head][first])
+            new_v = heads[sel]
+            level += 1
+            dist[new_v] = level
+            parent[new_v] = darts_f[sel]
+            frontier = new_v
+            reached += int(new_v.size)
+        if reached != nverts:
+            raise NotConnectedError("view is not connected")
+        depth = int(dist.max())
+
+        tree_edge = np.zeros(g.m, dtype=bool)
+        tree_darts = parent[parent >= 0]
+        tree_edge[tree_darts >> 1] = True
+
+        # --- next-in-face permutation over the bag's darts -------------
+        k = sub_rot.size
+        idx = np.arange(k)
+        grp_start = sub_indptr[tails]
+        nxt = idx + 1
+        wrap = nxt == sub_indptr[tails + 1]
+        nxt[wrap] = grp_start[wrap]
+        succ = np.empty(nd, dtype=np.int64)
+        succ[sub_rot] = sub_rot[nxt]
+        nif = np.empty(nd, dtype=np.int64)
+        nif[darts] = succ[darts ^ 1]
+
+        # --- face walks (orbit enumeration from the minimal dart) ------
+        nif_l = nif.tolist()
+        face_of = [-1] * nd
+        faces = []
+        for d0 in darts.tolist():
+            if face_of[d0] != -1:
+                continue
+            fid = len(faces)
+            cyc = []
+            d = d0
+            while face_of[d] == -1:
+                face_of[d] = fid
+                cyc.append(d)
+                d = nif_l[d]
+            if d != d0:
+                raise EmbeddingError("inconsistent sub-rotation system")
+            faces.append(cyc)
+
+        # --- triangulate every face (shared ear-clip kernel) -----------
+        tri_of_l = [0] * nd
+        all_chords = []
+        total_tris = 0
+        for fid, fdarts in enumerate(faces):
+            tails_f = [tail_l[d] for d in fdarts]
+            ntri, tod, chords = ear_clip(fdarts, tails_f)
+            for d, t in tod.items():
+                tri_of_l[d] = total_tris + t
+            for (u, v, ta, tb) in chords:
+                all_chords.append((u, v, total_tris + ta,
+                                   total_tris + tb, fid))
+            total_tris += ntri
+
+        # --- interdigitating dual tree --------------------------------
+        nchords = len(all_chords)
+        nt_eids = eids[~tree_edge[eids]]       # ascending non-tree edges
+        num_cand = nchords + int(nt_eids.size)
+        if num_cand != total_tris - 1:
+            raise DecompositionError(
+                f"interdigitating dual graph is not a tree: {total_tris} "
+                f"triangles vs {num_cand} dual edges")
+        if total_tris == 1:
+            raise DecompositionError(
+                "no separator candidate (single triangle)")
+
+        tri_of = np.asarray(tri_of_l, dtype=np.int64)
+        adj = [[] for _ in range(total_tris)]
+        cand_ta = [c[2] for c in all_chords] \
+            + tri_of[2 * nt_eids].tolist()
+        cand_tb = [c[3] for c in all_chords] \
+            + tri_of[2 * nt_eids + 1].tolist()
+        for cid in range(num_cand):
+            a, b = cand_ta[cid], cand_tb[cid]
+            adj[a].append((b, cid))
+            adj[b].append((a, cid))
+
+        # root at the triangle of the first dart of the largest face
+        outer = max(range(len(faces)), key=lambda f: len(faces[f]))
+        dual_root = tri_of_l[faces[outer][0]]
+        par_tri = [-1] * total_tris
+        par_cid = [-1] * total_tris
+        order = [dual_root]
+        seen = [False] * total_tris
+        seen[dual_root] = True
+        qi = 0
+        while qi < len(order):
+            t = order[qi]
+            qi += 1
+            for (t2, cid) in adj[t]:
+                if not seen[t2]:
+                    seen[t2] = True
+                    par_tri[t2] = t
+                    par_cid[t2] = cid
+                    order.append(t2)
+        if len(order) != total_tris:
+            raise DecompositionError("dual tree is disconnected")
+
+        # --- subtree dart-weights, most balanced candidate -------------
+        sub_w = np.bincount(tri_of[darts],
+                            minlength=total_tris).astype(np.float64)
+        total_weight = float(2 * m_bag)
+        sub_l = sub_w.tolist()
+        for t in reversed(order):
+            p = par_tri[t]
+            if p != -1:
+                sub_l[p] += sub_l[t]
+        sub_w = np.asarray(sub_l)
+        scores = np.maximum(sub_w, total_weight - sub_w)
+        scores[dual_root] = np.inf
+        t_best = int(np.argmin(scores))        # first minimum == legacy
+        score = float(scores[t_best])
+        cid = par_cid[t_best]
+
+        if cid < nchords:
+            u, v, _ta, _tb, crit_face = all_chords[cid]
+            chord_virtual = True
+            chord_eid = -1
+        else:
+            chord_eid = int(nt_eids[cid - nchords])
+            u, v = g.edges[chord_eid]
+            chord_virtual = False
+            crit_face = -1
+
+        cycle_vertices, cycle_edge_ids = fundamental_cycle_paths(
+            parent.tolist(), lambda d: tail_l[d], u, v)
+
+        # --- dart sides: the subtree below the chosen candidate --------
+        children_tri = [[] for _ in range(total_tris)]
+        for t in order:
+            if par_tri[t] != -1:
+                children_tri[par_tri[t]].append(t)
+        in_sub = [False] * total_tris
+        in_sub[t_best] = True
+        stack = [t_best]
+        while stack:
+            t = stack.pop()
+            for c in children_tri[t]:
+                in_sub[c] = True
+                stack.append(c)
+        inside = np.zeros(nd, dtype=bool)
+        inside[darts] = np.asarray(in_sub)[tri_of[darts]]
+
+        # sanity: non-cycle edges keep both darts on one side
+        cyc_edge = np.zeros(g.m, dtype=bool)
+        cyc = cycle_edge_ids if chord_virtual \
+            else cycle_edge_ids + [chord_eid]
+        cyc_edge[np.asarray(cyc, dtype=np.int64)] = True
+        both = inside[2 * eids] != inside[2 * eids + 1]
+        bad = eids[both & ~cyc_edge[eids]]
+        if bad.size:
+            raise DecompositionError(
+                f"edge {int(bad[0])} off the cycle has darts on both "
+                f"sides")
+
+        return EngineSeparator(
+            cycle_vertices=cycle_vertices,
+            cycle_edge_ids=cycle_edge_ids,
+            chord_endpoints=(u, v),
+            chord_virtual=chord_virtual,
+            chord_eid=chord_eid,
+            critical_view_face=crit_face,
+            balance=score / total_weight if total_weight else 1.0,
+            tree_depth=depth,
+            inside=inside,
+            eids=eids,
+        )
+
+    # ------------------------------------------------------------------
+    # splitting kernel
+    # ------------------------------------------------------------------
+    def children(self, bag, sep):
+        """``(edge_ids, live_darts)`` per child: separator edges belong
+        to both sides, components ordered by smallest edge id (the
+        legacy ``connected_edge_components`` first-appearance order)."""
+        if _np is None or bag.m <= self.SMALL_BAG_EDGES:
+            return self._legacy_kernels().children(bag, sep)
+        np = _np
+        eids = sep._eids
+        inside = sep._inside
+        a = inside[2 * eids]
+        b = inside[2 * eids + 1]
+        inside_eids = eids[a | b]
+        outside_eids = eids[~a | ~b]
+
+        live_mask = np.zeros(self.compiled.num_darts, dtype=bool)
+        live_mask[np.fromiter(bag.live_darts, dtype=np.int64,
+                              count=len(bag.live_darts))] = True
+
+        out = []
+        for side, is_inside in ((inside_eids, True),
+                                (outside_eids, False)):
+            if not side.size:
+                continue
+            for comp in self._components(side):
+                cd = np.empty(2 * len(comp), dtype=np.int64)
+                comp_np = np.asarray(comp, dtype=np.int64)
+                cd[0::2] = 2 * comp_np
+                cd[1::2] = 2 * comp_np + 1
+                keep = live_mask[cd] & (inside[cd] if is_inside
+                                        else ~inside[cd])
+                out.append((comp, cd[keep].tolist()))
+        return out
+
+    def _components(self, side):
+        """Connected components of an edge-id set (union-find), each a
+        sorted list, in order of their smallest edge id."""
+        edges = self.graph.edges
+        uf = {}
+
+        def find(x):
+            r = x
+            while uf.setdefault(r, r) != r:
+                r = uf[r]
+            while uf[x] != r:
+                uf[x], x = r, uf[x]
+            return r
+
+        side_l = side.tolist()
+        for eid in side_l:
+            u, v = edges[eid]
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                uf[rv] = ru
+        groups = {}
+        comps = []
+        for eid in side_l:
+            r = find(edges[eid][0])
+            grp = groups.get(r)
+            if grp is None:
+                grp = []
+                groups[r] = grp
+                comps.append(grp)
+            grp.append(eid)
+        return comps
+
+
+def engine_diameter(graph):
+    """Exact unweighted hop diameter of a connected embedded graph, on
+    the bit-packed all-pairs-BFS kernel (big-int lanes without numpy).
+
+    Same value as :meth:`~repro.planar.graph.PlanarGraph.diameter` for
+    connected graphs; raises :class:`~repro.errors.NotConnectedError`
+    otherwise (the legacy method instead reports the largest
+    component).
+    """
+    return DecompKernels(graph).diameter()

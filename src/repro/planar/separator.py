@@ -61,7 +61,7 @@ class SeparatorResult:
     tree_depth: int = 0
 
 
-def _ear_clip(face_darts, tails):
+def ear_clip(face_darts, tails):
     """Triangulate one face walk by ear clipping.
 
     Parameters: the dart list of the face and ``tails[i] = tail of dart i``.
@@ -70,6 +70,12 @@ def _ear_clip(face_darts, tails):
     index and ``chords`` is a list of
     ``(u, v, triangle_a, triangle_b)`` tuples — the two triangles on
     either side of each diagonal.
+
+    Shared reference kernel: the engine decomposition backend
+    (:mod:`repro.engine.decomp`) triangulates its array-built face walks
+    with this exact function, so chord endpoints and triangle ids — and
+    therefore the chosen separator — agree bit for bit with the legacy
+    path by construction.
     """
     k = len(face_darts)
     if k <= 2:
@@ -132,6 +138,46 @@ def _ear_clip(face_darts, tails):
     return num_tri, triangle_of_dart, fixed
 
 
+#: backwards-compatible alias (the helper predates its public role)
+_ear_clip = ear_clip
+
+
+def fundamental_cycle_paths(parent, tail_of, u, v):
+    """The fundamental cycle of chord ``(u, v)`` in a BFS tree.
+
+    ``parent`` maps a vertex to its parent dart (head = the vertex,
+    ``-1`` at the root) — a dict for the legacy
+    :class:`~repro.planar.graph.SubgraphView` path, a flat list for the
+    engine kernels; ``tail_of`` resolves a dart to its tail vertex.
+    Returns ``(cycle_vertices, cycle_edge_ids)`` in the path order
+    ``u .. lca .. v`` that :class:`SeparatorResult` documents.
+
+    Shared reference kernel of the two decomposition backends (see
+    :func:`ear_clip`).
+    """
+    def path_to_root(x):
+        p = [x]
+        while parent[x] != -1:
+            x = tail_of(parent[x])
+            p.append(x)
+        return p
+
+    pu = path_to_root(u)
+    pv = path_to_root(v)
+    su = set(pu)
+    lca = next(x for x in pv if x in su)
+    path_u = pu[:pu.index(lca) + 1]
+    path_v = pv[:pv.index(lca) + 1]
+    cycle_vertices = path_u + path_v[-2::-1]  # u..lca..v (v last)
+
+    cycle_edge_ids = []
+    for x in path_u[:-1]:
+        cycle_edge_ids.append(parent[x] >> 1)
+    for x in path_v[:-1]:
+        cycle_edge_ids.append(parent[x] >> 1)
+    return cycle_vertices, cycle_edge_ids
+
+
 def fundamental_cycle_separator(view, dart_weights=None, root=None):
     """Compute a balanced cycle separator of a connected subgraph view.
 
@@ -157,7 +203,7 @@ def fundamental_cycle_separator(view, dart_weights=None, root=None):
     total_tris = 0
     for fid, fdarts in enumerate(view.faces):
         tails = [view.tail(d) for d in fdarts]
-        ntri, tod, chords = _ear_clip(list(fdarts), tails)
+        ntri, tod, chords = ear_clip(list(fdarts), tails)
         tri_base.append(total_tris)
         for d, t in tod.items():
             tri_of_dart[d] = total_tris + t
@@ -257,26 +303,8 @@ def fundamental_cycle_separator(view, dart_weights=None, root=None):
         crit_face = -1
 
     # --- tree path u -> lca -> v ----------------------------------------
-    def path_to_root(x):
-        p = [x]
-        while parent[x] != -1:
-            x = view.tail(parent[x])
-            p.append(x)
-        return p
-
-    pu = path_to_root(u)
-    pv = path_to_root(v)
-    su = set(pu)
-    lca = next(x for x in pv if x in su)
-    path_u = pu[:pu.index(lca) + 1]
-    path_v = pv[:pv.index(lca) + 1]
-    cycle_vertices = path_u + path_v[-2::-1]  # u..lca..v (v last)
-
-    cycle_edge_ids = []
-    for x in path_u[:-1]:
-        cycle_edge_ids.append(parent[x] >> 1)
-    for x in path_v[:-1]:
-        cycle_edge_ids.append(parent[x] >> 1)
+    cycle_vertices, cycle_edge_ids = fundamental_cycle_paths(
+        parent, view.tail, u, v)
 
     # --- dart sides -------------------------------------------------------
     in_sub = [False] * total_tris

@@ -236,6 +236,13 @@ class WarmWorkerPool:
         (``cut`` is an alias of ``flow`` — both live on the flow
         solver; ``girth`` additionally memoizes the girth answer).
         Returns ``{(name, kind): seconds}`` for observability.
+
+        ``"distance"`` warms the labeling *and*, through it, the
+        topology-keyed decomposition entries (BDD + dual bags) in the
+        engine's shared cache — workers inherit them via fork or via
+        the snapshot's topo-token rekeying, so a worker-side
+        ``set_weights`` reprice rebuilds labels without ever re-running
+        the Lemma 5.1 recursion.
         """
         from repro.service.queries import GirthQuery
 

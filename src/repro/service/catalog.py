@@ -21,8 +21,11 @@ Ownership and invalidation:
   stale artifact — the old key simply stops matching.  Explicit
   :meth:`GraphCatalog.invalidate` additionally frees the dead entries
   instead of waiting for LRU eviction;
-* topology-only artifacts (compiled CSR) stay in the engine's
-  process-wide shared cache — the catalog does not duplicate them.
+* topology-only artifacts (compiled CSR, and — since the engine BDD
+  backend — the decomposition and its dual bags, keyed by topology
+  token) stay in the engine's process-wide shared cache: the catalog
+  does not duplicate them, weight repricing leaves them warm, and
+  snapshots ship them to pool workers.
 """
 
 from __future__ import annotations
@@ -153,16 +156,32 @@ class CatalogEntry:
 
         return self.catalog._artifact(key, build)
 
-    def bdd(self, leaf_size=None):
-        """The bounded-diameter decomposition (topology only)."""
-        key = ("bdd", self.name, leaf_size)
+    def bdd(self, leaf_size=None, backend="engine"):
+        """The bounded-diameter decomposition.
+
+        The BDD depends only on topology, so it lives in the engine's
+        process-wide *shared* cache keyed by topology token — alongside
+        the compiled CSR and labeling bags.  A
+        :meth:`GraphCatalog.set_weights` / :meth:`GraphCatalog.
+        mutate_weights` reprice (which sweeps the name-keyed private
+        caches) and a :meth:`GraphCatalog.snapshot` restore therefore
+        reuse the finished decomposition instead of re-running the
+        Lemma 5.1 recursion; :meth:`GraphCatalog.unregister` frees it.
+
+        ``backend`` selects the construction path of a *cold* build —
+        ``"engine"`` (default, array kernels) or ``"legacy"`` — and is
+        deliberately not part of the cache key: the two backends are
+        bit-identical (tests/test_engine_bdd_parity.py).
+        """
+        key = ("bdd", topo_token(self.graph), leaf_size)
 
         def build():
             from repro.bdd import build_bdd
 
-            return build_bdd(self.graph, leaf_size=leaf_size)
+            return build_bdd(self.graph, leaf_size=leaf_size,
+                             backend=backend)
 
-        return self.catalog._artifact(key, build)
+        return self.catalog._shared_artifact(key, build)
 
     def labeling(self, leaf_size=None, backend="engine"):
         """The dual distance labeling under :func:`default_dual_lengths`
@@ -175,7 +194,10 @@ class CatalogEntry:
         compiled bag arrays of :mod:`repro.engine.labels`, which live
         in the engine's *shared* cache keyed by topology token — so a
         :meth:`GraphCatalog.set_weights` reprice drops this labeling
-        artifact but reuses the bag compilation for the rebuild.
+        artifact but reuses the BDD, the dual bags and the bag
+        compilation for the rebuild: the repricing rebuild pays zero
+        decomposition cost (zero separator calls — gated in
+        ``benchmarks/bench_bdd.py`` via the obs counters).
         """
         fp = self.fingerprint()
         key = ("labeling", self.name, fp.weights, leaf_size, backend)
@@ -185,8 +207,8 @@ class CatalogEntry:
             from repro.labeling import DualDistanceLabeling
 
             bdd = self.bdd(leaf_size=leaf_size)
-            duals_key = ("dual-bags", self.name, leaf_size)
-            duals = self.catalog._artifact(
+            duals_key = ("dual-bags", topo_token(self.graph), leaf_size)
+            duals = self.catalog._shared_artifact(
                 duals_key, lambda: build_all_dual_bags(bdd))
             return DualDistanceLabeling(bdd,
                                         default_dual_lengths(self.graph),
@@ -280,6 +302,19 @@ class GraphCatalog:
             obs.inc(f"catalog.artifact."
                     f"{'hit' if hit else 'miss'}.{key[0]}")
         return self.artifacts.get_or_build(key, build)
+
+    def _shared_artifact(self, key, build):
+        """Like :meth:`_artifact` (same ``catalog.artifact.{hit,miss}.
+        <kind>`` counters) but against the engine's process-wide
+        :func:`~repro._artifacts.shared_cache` — for topology-only
+        artifacts keyed by topology token (``bdd``, ``dual-bags``) that
+        must survive weight repricing and ship with snapshots."""
+        cache = shared_cache()
+        if obs.enabled():
+            hit = key in cache
+            obs.inc(f"catalog.artifact."
+                    f"{'hit' if hit else 'miss'}.{key[0]}")
+        return cache.get_or_build(key, build)
 
     def __contains__(self, name):
         return name in self._entries

@@ -1,0 +1,248 @@
+"""Bit-parity of ``build_bdd(backend="engine")`` against the legacy
+substrate, and the topology-keyed decomposition cache (DESIGN.md §14).
+
+The engine backend must be indistinguishable from the reference: same
+bag ids/levels/edge sets/live darts, same separator metadata, same
+forced-leaf decisions and the same error sites
+(:func:`repro.bdd.bdd_signature` covers all of it).  The catalog keys
+the finished BDD and its dual bags by topology token in the engine's
+shared cache, so weight repricing and snapshot restores must never
+re-run the Lemma 5.1 recursion — verified here through the obs
+counters (``bdd.separator.calls``, ``catalog.artifact.hit.bdd``), the
+same mechanism the :class:`~repro.server.pool.WarmWorkerPool` spawn
+handoff uses.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.bdd import bdd_signature, build_bdd
+from repro.engine import DecompKernels, engine_diameter
+from repro.errors import DecompositionError, NotConnectedError
+from repro.obs import RingBufferSink
+from repro.planar import PlanarGraph
+from repro.planar.generators import (
+    cylinder,
+    grid,
+    ladder,
+    outerplanar_fan,
+    random_planar,
+    triangulated_disk,
+    wheel,
+)
+from repro.service.catalog import GraphCatalog
+
+FAMILIES = [
+    ("wheel", lambda: wheel(40)),
+    ("grid", lambda: grid(12, 12)),
+    ("ladder", lambda: ladder(24)),
+    ("cylinder", lambda: cylinder(5, 8)),
+    ("fan", lambda: outerplanar_fan(30)),
+    ("disk", lambda: triangulated_disk(4)),
+    ("delaunay", lambda: random_planar(200, seed=3)),
+]
+
+
+@pytest.fixture
+def array_kernels(monkeypatch):
+    """Force the array separator kernels on every bag: the production
+    threshold routes small bags to the (trivially bit-identical)
+    legacy substrate, which would make test-sized parity vacuous."""
+    monkeypatch.setattr(DecompKernels, "SMALL_BAG_EDGES", 0)
+
+
+# ----------------------------------------------------------------------
+# bit-identical decompositions
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,maker", FAMILIES)
+@pytest.mark.parametrize("leaf", [None, 8, 16])
+def test_bit_identical_bdd(array_kernels, name, maker, leaf):
+    g = maker()
+    eng = build_bdd(g, leaf_size=leaf, backend="engine")
+    ref = build_bdd(g, leaf_size=leaf)
+    assert bdd_signature(eng) == bdd_signature(ref)
+
+
+def test_bit_identical_with_production_threshold():
+    """The small-bag delegation path (default threshold) mixes
+    substrates per bag — still bit-identical."""
+    g = random_planar(200, seed=3)
+    assert bdd_signature(build_bdd(g, leaf_size=8, backend="engine")) \
+        == bdd_signature(build_bdd(g, leaf_size=8))
+
+
+def test_forced_leaf_parity(array_kernels):
+    """Bags whose separator makes no progress are kept as leaves —
+    the engine must force the *same* leaves."""
+    g = grid(12, 12)
+    eng = build_bdd(g, leaf_size=8, backend="engine")
+    ref = build_bdd(g, leaf_size=8)
+    assert eng.forced_leaves > 0
+    assert eng.forced_leaves == ref.forced_leaves
+    assert bdd_signature(eng) == bdd_signature(ref)
+
+
+def test_max_depth_error_parity(array_kernels):
+    g = grid(8, 8)
+    with pytest.raises(DecompositionError) as ref_err:
+        build_bdd(g, leaf_size=8, max_depth=1)
+    with pytest.raises(DecompositionError) as eng_err:
+        build_bdd(g, leaf_size=8, max_depth=1, backend="engine")
+    assert str(eng_err.value) == str(ref_err.value)
+
+
+def _disconnected():
+    """Two disjoint squares (valid embedding, two components)."""
+    g2 = grid(2, 2)
+    edges = list(g2.edges) + [(u + 4, v + 4) for (u, v) in g2.edges]
+    rotations = [list(r) for r in g2.rotations]
+    for r in g2.rotations:
+        rotations.append([d + 2 * g2.m for d in r])
+    return PlanarGraph(8, edges, rotations)
+
+
+@pytest.mark.parametrize("backend", ["legacy", "engine"])
+def test_disconnected_rejected(backend):
+    with pytest.raises(NotConnectedError):
+        build_bdd(_disconnected(), backend=backend)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown BDD backend"):
+        build_bdd(grid(3, 3), backend="numpy")
+
+
+# ----------------------------------------------------------------------
+# diameter kernel
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name,maker", FAMILIES)
+def test_engine_diameter_matches(name, maker):
+    g = maker()
+    assert engine_diameter(g) == g.diameter()
+
+
+def test_engine_diameter_requires_connected():
+    with pytest.raises(NotConnectedError):
+        engine_diameter(_disconnected())
+
+
+# ----------------------------------------------------------------------
+# topology-keyed decomposition cache
+# ----------------------------------------------------------------------
+def _counter(name):
+    return obs.registry().snapshot().get(name, {}).get("value", 0)
+
+
+def test_reprice_skips_decomposition():
+    """set_weights and mutate_weights rebuild labels with zero
+    separator calls: the BDD and dual bags are topology-keyed."""
+    g = grid(8, 8)
+    cat = GraphCatalog()
+    cat.register("g", g)
+    cat.get("g").labeling()
+    obs.enable(RingBufferSink())
+    try:
+        before = _counter("bdd.separator.calls")
+        cat.set_weights("g", weights=[2.0] * g.m)
+        cat.get("g").labeling()
+        cat.mutate_weights("g", {0: 5.0})
+        cat.get("g").labeling()
+        assert _counter("bdd.separator.calls") == before
+        assert _counter("catalog.artifact.hit.bdd") >= 1
+        assert _counter("catalog.artifact.hit.dual-bags") >= 1
+    finally:
+        obs.disable()
+
+
+def test_catalog_bdd_backend_not_in_key():
+    """The two backends are bit-identical, so the cache key ignores
+    the knob: both return the same cached object."""
+    cat = GraphCatalog()
+    cat.register("g", grid(6, 6))
+    entry = cat.get("g")
+    assert entry.bdd() is entry.bdd(backend="legacy")
+
+
+def test_snapshot_restore_reuses_decomposition():
+    """The pickled warm-state handoff (what a spawn-mode
+    WarmWorkerPool worker restores) re-keys the shared-cache BDD to
+    the receiving process's topology tokens: a post-restore reprice
+    still pays zero decomposition cost."""
+    g = grid(8, 8)
+    cat = GraphCatalog()
+    cat.register("g", g)
+    cat.get("g").labeling()
+    restored = pickle.loads(pickle.dumps(cat.snapshot())).restore()
+    obs.enable(RingBufferSink())
+    try:
+        before = _counter("bdd.separator.calls")
+        restored.set_weights("g", weights=[3.0] * g.m)
+        restored.get("g").labeling()
+        assert _counter("bdd.separator.calls") == before
+        assert _counter("catalog.artifact.hit.bdd") >= 1
+    finally:
+        obs.disable()
+
+
+def test_unregister_frees_shared_decomposition():
+    from repro._artifacts import shared_cache, topo_token
+
+    cat = GraphCatalog()
+    entry = cat.register("g", grid(6, 6))
+    entry.bdd()
+    topo = topo_token(entry.graph)
+    assert ("bdd", topo, None) in shared_cache()
+    cat.unregister("g")
+    assert ("bdd", topo, None) not in shared_cache()
+
+
+# ----------------------------------------------------------------------
+# obs spans
+# ----------------------------------------------------------------------
+def test_separator_spans_emitted():
+    sink = RingBufferSink()
+    obs.enable(sink)
+    try:
+        build_bdd(grid(8, 8), leaf_size=16, backend="engine")
+    finally:
+        obs.disable()
+    spans = [s for s in sink.spans() if s["name"] == "bdd.separator"]
+    assert spans, "no bdd.separator spans emitted"
+    for s in spans:
+        assert {"level", "m", "balance", "sx", "bfs_depth"} \
+            <= set(s["tags"])
+    build_spans = [s for s in sink.spans() if s["name"] == "bdd.build"]
+    assert build_spans and build_spans[0]["tags"]["backend"] == "engine"
+
+
+# ----------------------------------------------------------------------
+# numpy-free fallback
+# ----------------------------------------------------------------------
+def test_no_numpy_bdd_parity():
+    code = (
+        "from repro._compat import np\n"
+        "assert np is None\n"
+        "from repro.bdd import bdd_signature, build_bdd\n"
+        "from repro.engine import engine_diameter\n"
+        "from repro.planar.generators import grid, random_planar\n"
+        "for g in (grid(6, 6), random_planar(60, seed=5)):\n"
+        "    eng = build_bdd(g, leaf_size=10, backend='engine')\n"
+        "    ref = build_bdd(g, leaf_size=10)\n"
+        "    assert bdd_signature(eng) == bdd_signature(ref)\n"
+        "    assert engine_diameter(g) == g.diameter()\n"
+        "print('OK')\n"
+    )
+    env = dict(os.environ, REPRO_ENGINE_NO_NUMPY="1",
+               PYTHONPATH="src" + os.pathsep
+               + os.environ.get("PYTHONPATH", ""))
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True, timeout=300,
+                          cwd=os.path.dirname(os.path.dirname(
+                              os.path.abspath(__file__))))
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "OK"
