@@ -1,8 +1,20 @@
 """E8 (Section 4): minor-aggregation on the dual — measured PA cost on
 Ĝ (the conversion rate of Theorem 4.10), orientation/deactivation
-(Lemma 4.15), and Boruvka MST as the canonical MA workload."""
+(Lemma 4.15), and Boruvka MST as the canonical MA workload.
+
+Script mode re-runs the same workloads at smoke scale and emits a
+``BENCH_aggregation.json`` report for ``scripts/bench_history.py``::
+
+    PYTHONPATH=src python benchmarks/bench_aggregation.py \\
+        [--json BENCH_aggregation.json]
+"""
+
+import argparse
+import time
 
 import pytest
+
+from _json_out import add_json_arg, emit_json
 
 from repro.aggregation import DualMAHost, boruvka_mst, \
     deactivate_parallel_edges
@@ -62,3 +74,50 @@ def test_parallel_edge_deactivation(benchmark):
     rep = benchmark(run)
     assert rep  # at least one bundle collapsed
     benchmark.extra_info.update({"n": g.n, "bundles": len(rep)})
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="E8: minor-aggregation on the dual (PA cost, "
+                    "Boruvka MST, parallel-edge deactivation)")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+    ok = True
+    rows = {}
+
+    g = grid(6, 6)
+    t0 = time.perf_counter()
+    host = DualPartwiseHost(g)
+    rows["partwise"] = {
+        "n": g.n, "D": g.diameter(), "build_s": time.perf_counter() - t0,
+        "pa_rounds": host.pa_rounds,
+    }
+
+    g = randomize_weights(random_planar(60, seed=6), seed=6)
+    ma_host = DualMAHost(g, ledger=RoundLedger())
+    t0 = time.perf_counter()
+    ma = ma_host.ma_graph()
+    tree = boruvka_mst(ma)
+    mst_s = time.perf_counter() - t0
+    ok &= len(tree) == g.num_faces() - 1
+    rows["mst"] = {"n": g.n, "dual_nodes": g.num_faces(),
+                   "tree_edges": len(tree), "mst_s": mst_s}
+
+    g = randomize_weights(grid(2, 12), seed=8)
+    host = DualMAHost(g)
+    t0 = time.perf_counter()
+    rep = deactivate_parallel_edges(host.ma_graph(), lambda a, b: a + b)
+    deact_s = time.perf_counter() - t0
+    ok &= bool(rep)
+    rows["deactivation"] = {"n": g.n, "bundles": len(rep),
+                            "deactivate_s": deact_s}
+
+    for name, row in rows.items():
+        print(f"{name}: " + " ".join(f"{k}={v}" for k, v in row.items()))
+    print(f"bench_aggregation: {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "aggregation", rows, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,20 @@
 """E7 (Theorems 1.3 / 6.2): approximate st-planar flow — value within
 (1−ε), assignment feasible, cut valid; ε sweep shows the accuracy/round
-trade-off of the n^{o(1)}/ε² oracle budget."""
+trade-off of the n^{o(1)}/ε² oracle budget.
+
+Script mode re-runs the ε sweep at smoke scale and emits a
+``BENCH_approx_flow.json`` report for ``scripts/bench_history.py``::
+
+    PYTHONPATH=src python benchmarks/bench_approx_flow.py \\
+        [--json BENCH_approx_flow.json]
+"""
+
+import argparse
+import time
 
 import pytest
+
+from _json_out import add_json_arg, emit_json
 
 from repro.congest import RoundLedger
 from repro.core import approx_max_st_flow, flow_value_networkx, \
@@ -48,3 +60,45 @@ def test_approx_flow_size_sweep(benchmark, k):
         "n": g.n, "D": g.diameter(),
         "value_ratio": round(res.value / ref, 3),
     })
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="E7: (1-eps)-approximate st-planar flow sweep with "
+                    "feasibility/cut validation")
+    add_json_arg(ap)
+    ap.add_argument("--eps", type=float, nargs="+", default=[0.4, 0.2])
+    args = ap.parse_args(argv)
+    ok = True
+    rows = {}
+
+    g = randomize_weights(grid(5, 7), seed=3)
+    s, t = 0, g.n - 1
+    ref = flow_value_networkx(g, s, t, directed=False)
+    for eps in args.eps:
+        led = RoundLedger()
+        t0 = time.perf_counter()
+        res = approx_max_st_flow(g, s, t, eps=eps, seed=5, ledger=led)
+        approx_s = time.perf_counter() - t0
+        validate_flow(g, s, t, res.flow, res.value, directed=False)
+        valid_cut = verify_st_cut(g, s, t, res.cut_edge_ids,
+                                  directed=False)
+        in_band = (1 - 2 * eps) * ref <= res.value <= ref + 1e-9
+        ok &= valid_cut and in_band
+        rows[f"eps_{eps}"] = {
+            "n": g.n, "eps": eps, "approx_s": approx_s,
+            "value_ratio": round(res.value / ref, 3),
+            "ma_rounds": res.ma_rounds,
+            "congest_rounds": led.total(),
+        }
+        print(f"eps={eps}: value={res.value:.3f}/{ref:.3f} "
+              f"({approx_s * 1e3:.1f}ms, {led.total()} rounds)"
+              + ("" if valid_cut and in_band else "  FAIL"))
+
+    print(f"bench_approx_flow: {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "approx_flow", rows, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

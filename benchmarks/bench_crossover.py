@@ -1,9 +1,21 @@
 """E10 (Section 1 comparison table): round-model crossover — for which
 diameters does the paper's Õ(D²) beat the D·n^{1/2+o(1)} of de Vos [4]?
 Plus an executable data point: the naive distributed Bellman-Ford dual
-SSSP vs our measured labeling rounds on the same instance."""
+SSSP vs our measured labeling rounds on the same instance.
+
+Script mode re-runs both and emits a ``BENCH_crossover.json`` report
+for ``scripts/bench_history.py``::
+
+    PYTHONPATH=src python benchmarks/bench_crossover.py \\
+        [--json BENCH_crossover.json]
+"""
+
+import argparse
+import time
 
 import pytest
+
+from _json_out import add_json_arg, emit_json
 
 from repro.analysis.experiments import experiment_crossover
 from repro.baselines.distributed_naive import naive_dual_sssp_rounds
@@ -39,3 +51,45 @@ def test_measured_vs_naive_sssp(benchmark, cols):
         "labeling_rounds": led.total(),
         "naive_bf_rounds": naive_dual_sssp_rounds(g),
     })
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="E10: round-model crossover table + measured "
+                    "labeling rounds vs naive dual Bellman-Ford")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+    ok = True
+    rows = {}
+
+    t0 = time.perf_counter()
+    table = experiment_crossover()
+    table_s = time.perf_counter() - t0
+    ok &= table[0]["beats_deVos"] == "yes"
+    ok &= table[-1]["beats_deVos"] == "no"
+    crossover_d = next(r["D"] for r in table
+                       if r["beats_deVos"] == "no")
+    rows["table"] = {"table_s": table_s, "crossover_D": crossover_d}
+
+    g = randomize_weights(grid(3, 6), seed=6)
+    lengths = {d: g.weights[d >> 1] for d in g.darts()}
+    led = RoundLedger()
+    t0 = time.perf_counter()
+    bdd = build_bdd(g, leaf_size=12, ledger=led)
+    DualDistanceLabeling(bdd, lengths, ledger=led)
+    labeling_s = time.perf_counter() - t0
+    naive = naive_dual_sssp_rounds(g)
+    rows["measured"] = {
+        "n": g.n, "D": g.diameter(), "labeling_s": labeling_s,
+        "labeling_rounds": led.total(), "naive_bf_rounds": naive,
+    }
+
+    print(f"crossover_D={crossover_d} (table in {table_s * 1e3:.1f}ms); "
+          f"labeling {led.total()} rounds vs naive {naive}")
+    print(f"bench_crossover: {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "crossover", rows, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

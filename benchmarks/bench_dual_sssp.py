@@ -1,10 +1,22 @@
 """E3 (Lemma 2.2): dual SSSP — exactness with negative lengths and the
 Õ(D) marginal cost per query after labeling, vs the Θ(n)-round naive
-distributed Bellman-Ford shape."""
+distributed Bellman-Ford shape.
 
+Script mode re-runs the query path at smoke scale and emits a
+``BENCH_dual_sssp.json`` report for ``scripts/bench_history.py``::
+
+    PYTHONPATH=src python benchmarks/bench_dual_sssp.py \\
+        [--json BENCH_dual_sssp.json]
+"""
+
+import argparse
 import random
+import time
 
 import pytest
+
+from _json_out import add_json_arg, emit_json
+from repro.planar.generators import grid, randomize_weights
 
 from repro.baselines.distributed_naive import naive_dual_sssp_rounds
 from repro.bdd import build_bdd
@@ -51,3 +63,54 @@ def test_dual_sssp_query(benchmark, instances, name):
         "naive_bf_rounds": naive_dual_sssp_rounds(g),
         "num_dual_nodes": dual.num_nodes,
     })
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="E3: dual SSSP with mixed-sign lengths vs the "
+                    "Bellman-Ford oracle")
+    add_json_arg(ap)
+    ap.add_argument("--queries", type=int, default=8,
+                    help="distinct SSSP sources to time")
+    args = ap.parse_args(argv)
+    ok = True
+    rows = {}
+
+    g = randomize_weights(grid(5, 6), seed=1, directed_capacities=True)
+    lengths = mixed_lengths(g, seed=11)
+    t0 = time.perf_counter()
+    bdd = build_bdd(g, leaf_size=max(12, g.diameter()))
+    lab = DualDistanceLabeling(bdd, lengths)
+    label_s = time.perf_counter() - t0
+
+    dual = DualGraph(g)
+    arcs = [(g.face_of[d], g.face_of[rev(d)], lengths[d])
+            for d in g.darts()]
+    sources = list(range(min(args.queries, dual.num_nodes)))
+    t0 = time.perf_counter()
+    results = [dual_sssp(lab, source=src) for src in sources]
+    query_s = (time.perf_counter() - t0) / max(1, len(sources))
+    for src, res in zip(sources, results):
+        ref = bellman_ford_arcs(dual.num_nodes, arcs, src)
+        ok &= all(res.dist[f] == ref[f]
+                  for f in range(dual.num_nodes))
+
+    led = RoundLedger()
+    dual_sssp(lab, source=0, ledger=led)
+    rows["query"] = {
+        "n": g.n, "D": g.diameter(), "sources": len(sources),
+        "label_s": label_s, "query_s": query_s,
+        "query_rounds": led.total(),
+        "naive_bf_rounds": naive_dual_sssp_rounds(g),
+        "num_dual_nodes": dual.num_nodes,
+    }
+
+    print(f"{len(sources)} exact SSSPs at {query_s * 1e3:.2f}ms each "
+          f"(labeling {label_s * 1e3:.1f}ms, {led.total()} rounds/query)")
+    print(f"bench_dual_sssp: {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "dual_sssp", rows, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,20 @@
 """E4 (Theorem 1.7): weighted girth — exact value, and Õ(D) rounds
 (one diameter factor better than the Õ(D²) of prior work [36], whose
-shape is included for comparison)."""
+shape is included for comparison).
+
+Script mode re-runs grid + Delaunay at smoke scale and emits a
+``BENCH_girth.json`` report for ``scripts/bench_history.py``::
+
+    PYTHONPATH=src python benchmarks/bench_girth.py \\
+        [--json BENCH_girth.json]
+"""
+
+import argparse
+import time
 
 import pytest
+
+from _json_out import add_json_arg, emit_json
 
 from repro.baselines.centralized import centralized_weighted_girth
 from repro.congest import RoundLedger
@@ -70,3 +82,55 @@ def test_girth_delaunay(benchmark):
     res = benchmark(run)
     assert res.value == ref
     benchmark.extra_info.update({"n": g.n, "girth": res.value})
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="E4: exact weighted girth vs the centralized "
+                    "oracle, with the prior-work [36] round shape")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+    ok = True
+    rows = {}
+
+    g = randomize_weights(grid(5, 5), seed=0)
+    ref = centralized_weighted_girth(g)
+    led = RoundLedger()
+    t0 = time.perf_counter()
+    res = weighted_girth(g, ledger=led)
+    girth_s = time.perf_counter() - t0
+    ok &= res.value == ref
+    d = g.diameter()
+
+    from repro.core import directed_weighted_girth
+    from repro.planar.generators import bidirect
+
+    led36 = RoundLedger()
+    directed_weighted_girth(bidirect(g, reverse_weights=g.weights),
+                            leaf_size=max(10, d), ledger=led36)
+    rows["grid"] = {
+        "n": g.n, "D": d, "girth_s": girth_s,
+        "congest_rounds": led.total(),
+        "rounds_per_D": round(led.total() / d, 1),
+        "prior36_rounds": led36.total(),
+        "ma_rounds": res.ma_rounds,
+    }
+
+    g = randomize_weights(random_planar(50, seed=7), seed=7)
+    ref = centralized_weighted_girth(g)
+    t0 = time.perf_counter()
+    res = weighted_girth(g)
+    delaunay_s = time.perf_counter() - t0
+    ok &= res.value == ref
+    rows["delaunay"] = {"n": g.n, "girth_s": delaunay_s,
+                        "girth": res.value}
+
+    for name, row in rows.items():
+        print(f"{name}: " + " ".join(f"{k}={v}" for k, v in row.items()))
+    print(f"bench_girth: {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "girth", rows, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

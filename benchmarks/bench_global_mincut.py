@@ -8,11 +8,20 @@ kernel replicates the legacy two-best Dijkstra tuple for tuple.  The
 engine column isolates the kernel gain: both backends share the BDD
 construction, so the per-``f ∈ F_X`` constrained-SSSP speedup is
 diluted by that common cost on small instances.
+
+Script mode re-runs the parity race at smoke scale and emits a
+``BENCH_global_mincut.json`` report for ``scripts/bench_history.py``::
+
+    PYTHONPATH=src python benchmarks/bench_global_mincut.py \\
+        [--json BENCH_global_mincut.json]
 """
 
+import argparse
 import time
 
 import pytest
+
+from _json_out import add_json_arg, emit_json
 
 from repro.baselines.centralized import centralized_directed_global_mincut
 from repro.congest import RoundLedger
@@ -73,3 +82,45 @@ def test_global_mincut_engine_large(benchmark):
         "legacy_s": round(legacy_s, 4),
         "engine_speedup": round(legacy_s / engine_s, 1),
     })
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="E5: directed global min-cut — legacy vs engine "
+                    "backend parity race against the centralized oracle")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+    ok = True
+    rows = {}
+
+    base = randomize_weights(random_planar(14, seed=0), seed=0)
+    g = bidirect(base, seed=0)
+    ref = centralized_directed_global_mincut(g)
+    led = RoundLedger()
+    t0 = time.perf_counter()
+    res = directed_global_mincut(g, leaf_size=12, ledger=led)
+    legacy_s = max(time.perf_counter() - t0, 1e-9)
+    t0 = time.perf_counter()
+    eng = directed_global_mincut(g, leaf_size=12, backend="engine")
+    engine_s = max(time.perf_counter() - t0, 1e-9)
+    ok &= res.value == ref
+    ok &= eng == res  # bit-identical: value, side, cut edges, darts
+    d = g.diameter()
+    rows["parity"] = {
+        "n": g.n, "D": d, "cut": res.value,
+        "legacy_s": legacy_s, "engine_s": engine_s,
+        "congest_rounds": led.total(),
+        "rounds_per_D2": round(led.total() / d ** 2, 2),
+        "engine_speedup": round(legacy_s / engine_s, 1),
+    }
+
+    print(f"cut={res.value} legacy={legacy_s * 1e3:.1f}ms "
+          f"engine={engine_s * 1e3:.1f}ms "
+          f"({legacy_s / engine_s:.1f}x) parity={'ok' if ok else 'FAIL'}")
+    print(f"bench_global_mincut: {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "global_mincut", rows, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

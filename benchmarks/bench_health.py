@@ -1,0 +1,225 @@
+"""Health-layer benchmark (DESIGN.md §15): the liveness/SLO acceptance
+path, end to end.
+
+Three gates, all through the live ``health``/``exemplars`` wire verbs:
+
+1. **Ready under load** — a forked pool serving warm queries reports
+   ``state == "ready"`` with every SLO ``ok``.
+2. **Exemplars retained** — the server flight recorder holds at least
+   one ``slow`` exemplar (slowest-K tail sampling) and one ``error``
+   exemplar after a failing query, each a full stitched span tree.
+3. **Kill → breach** — killing a worker under load flips the health
+   report to ``degraded``/``breach`` within the watchdog's detection
+   budget, while the survivors keep serving.
+
+Under pytest the same paths run at smoke scale without forking; the
+timed gates are script-mode only::
+
+    PYTHONPATH=src python benchmarks/bench_health.py \\
+        [--queries 40] [--json BENCH_health.json]
+"""
+
+import argparse
+import time
+
+import pytest
+
+from _json_out import add_json_arg, emit_json
+
+from repro import obs
+from repro.planar.generators import grid, randomize_weights
+from repro.server import QueryServer, ServiceClient, WarmWorkerPool
+from repro.service import DistanceQuery
+
+EXPECTED_VERBS = ("health", "exemplars")
+
+
+def _make_instance(rows=5, cols=6, seed=1):
+    return randomize_weights(grid(rows, cols), seed=seed,
+                             directed_capacities=True)
+
+
+def _warm_queries(name, g, count):
+    nf = g.num_faces()
+    return [DistanceQuery(name, i % nf, (i * 7 + 3) % nf)
+            for i in range(count)]
+
+
+def kill_pool_worker(pool):
+    """Kill one live forked worker outright (the shared provocation of
+    ``tests/test_server.py``) and wait for the corpse."""
+    live = sorted(w for w, p in pool._procs.items()
+                  if w not in pool._dead and p.is_alive())
+    if not live:
+        raise RuntimeError("no live worker left to kill")
+    wid = live[0]
+    proc = pool._procs[wid]
+    proc.kill()
+    proc.join(timeout=10)
+    return wid
+
+
+def wait_for(predicate, timeout=20.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# pytest mode (no forking; structural smoke)
+# ----------------------------------------------------------------------
+def test_health_ready_smoke(instances):
+    obs.reset()
+    obs.enable()
+    try:
+        pool = WarmWorkerPool(workers=0)
+        pool.register("g", instances["grid-small"])
+        pool.prewarm(kinds=("distance",))
+        with pool:
+            for q in _warm_queries("g", instances["grid-small"], 6):
+                pool.submit(q).result()
+            report = pool.health()
+        assert report["state"] == "ready"
+        assert report["status"] == "ok"
+        assert report["slos"]["status"] == "ok"
+        assert any(s["count"] for s in report["slos"]["slos"])
+    finally:
+        obs.reset()
+
+
+def test_flight_recorder_smoke():
+    rec = obs.FlightRecorder(slowest_k=1, window_seconds=3600.0)
+    for trace, secs, err in (("a", 0.5, None), ("b", 0.1, None),
+                             ("c", 0.2, "ValueError")):
+        tags = {"error": err} if err else {}
+        rec.record_span({"trace": trace, "name": "query.execute",
+                         "start": 1.0, "seconds": secs, "tags": tags})
+    reasons = {e["trace"]: e["reason"] for e in rec.exemplars()}
+    assert reasons == {"a": "slow", "c": "error"}
+
+
+# ----------------------------------------------------------------------
+# script mode
+# ----------------------------------------------------------------------
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rows", type=int, default=5)
+    ap.add_argument("--cols", type=int, default=6)
+    ap.add_argument("--queries", type=int, default=40,
+                    help="warm distance queries before the health check")
+    ap.add_argument("--workers", type=int, default=2)
+    ap.add_argument("--detect-timeout", type=float, default=20.0,
+                    help="seconds allowed for kill -> breach detection")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+
+    g = _make_instance(args.rows, args.cols)
+    obs.reset()
+    obs.enable()
+    rows = {}
+    try:
+        pool = WarmWorkerPool(workers=args.workers,
+                              heartbeat_interval=0.1, stall_after=2.0)
+        pool.register("g", g)
+        pool.prewarm(kinds=("distance",))
+        pool.start()
+        server = QueryServer(pool).start_background()
+        host, port = server.address
+
+        with ServiceClient(host, port, timeout=60) as client:
+            # -- gate 1: ready/ok under warm load
+            t0 = time.perf_counter()
+            for q in _warm_queries("g", g, args.queries):
+                client.query(q)
+            serve_s = (time.perf_counter() - t0) / args.queries
+            t0 = time.perf_counter()
+            report = client.health()
+            health_verb_s = time.perf_counter() - t0
+            ok1 = (report["state"] == "ready"
+                   and report["status"] == "ok"
+                   and report["workers"]["alive"] == args.workers)
+            print(f"under load: state={report['state']} "
+                  f"status={report['status']} "
+                  f"alive={report['workers']['alive']} "
+                  f"({serve_s * 1e3:.2f} ms/query, health verb "
+                  f"{health_verb_s * 1e3:.2f} ms)")
+            print(f"acceptance (ready/ok under load): "
+                  f"{'PASS' if ok1 else 'FAIL'}")
+
+            # -- gate 2: flight recorder exemplars (slow + error)
+            try:
+                client.query(DistanceQuery("no-such-graph", 0, 1))
+            except Exception as exc:
+                print(f"provoked error: {type(exc).__name__}")
+
+            def has_both():
+                d = client.exemplars()
+                reasons = {e["reason"] for e in d["exemplars"]}
+                return {"slow", "error"} <= reasons
+
+            t0 = time.perf_counter()
+            ok2 = wait_for(has_both, timeout=15.0)
+            dump = client.exemplars()
+            exemplars_verb_s = time.perf_counter() - t0
+            reasons = [e["reason"] for e in dump["exemplars"]]
+            stitched = all(
+                any(s.get("name") == "query.execute"
+                    for s in e["spans"])
+                for e in dump["exemplars"])
+            ok2 = ok2 and dump["recording"] and stitched
+            print(f"flight recorder: {dump['retained']} retained "
+                  f"({reasons.count('slow')} slow, "
+                  f"{reasons.count('error')} error), "
+                  f"{dump['dropped']} dropped")
+            print(f"acceptance (slow + error exemplars retained): "
+                  f"{'PASS' if ok2 else 'FAIL'}")
+
+            # -- gate 3: kill a worker -> breach, survivors serve
+            wid = kill_pool_worker(pool)
+            t0 = time.perf_counter()
+
+            def breached():
+                r = client.health()
+                return (r["state"] == "degraded"
+                        and r["status"] == "breach")
+
+            detected = wait_for(breached, timeout=args.detect_timeout)
+            detect_s = time.perf_counter() - t0
+            after = client.health()
+            survivor = client.query(_warm_queries("g", g, 1)[0])
+            ok3 = (detected and survivor.result is not None
+                   and after["workers"]["alive"] == args.workers - 1)
+            print(f"killed worker {wid}: state={after['state']} "
+                  f"status={after['status']} detected in "
+                  f"{detect_s * 1e3:.0f} ms, survivor still serves")
+            print(f"acceptance (kill -> degraded/breach): "
+                  f"{'PASS' if ok3 else 'FAIL'}")
+
+        server.shutdown()
+        pool.close()
+        rows = {
+            "instance": {"rows": args.rows, "cols": args.cols, "n": g.n},
+            "queries": args.queries, "workers": args.workers,
+            "serve_s": serve_s,
+            "health_verb_s": health_verb_s,
+            "exemplars_verb_s": exemplars_verb_s,
+            "kill_detect_s": detect_s,
+            "retained": dump["retained"],
+            "slow_exemplars": reasons.count("slow"),
+            "error_exemplars": reasons.count("error"),
+        }
+    finally:
+        obs.reset()
+
+    ok = ok1 and ok2 and ok3
+    emit_json(args.json, "health", rows, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,7 +1,20 @@
 """E1 (Theorem 1.2): exact max st-flow — value matches the oracle, and
-the round count divided by D² stays flat across the diameter sweep."""
+the round count divided by D² stays flat across the diameter sweep.
+
+Script mode re-runs the families at smoke scale and emits a
+``BENCH_maxflow.json`` report for ``scripts/bench_history.py``::
+
+    PYTHONPATH=src python benchmarks/bench_maxflow.py \\
+        [--json BENCH_maxflow.json]
+"""
+
+import argparse
+import time
 
 import pytest
+
+from _json_out import add_json_arg, emit_json
+from repro.planar.generators import cylinder
 
 from repro.baselines.distributed_naive import naive_maxflow_rounds
 from repro.congest import RoundLedger
@@ -59,3 +72,49 @@ def test_maxflow_diameter_sweep(benchmark, k):
         "congest_rounds": led.total(),
         "rounds_per_D2": round(led.total() / d ** 2, 2),
     })
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="E1: exact max st-flow vs the networkx oracle "
+                    "across two instance families")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+    ok = True
+    rows = {}
+
+    families = {
+        "grid": randomize_weights(grid(5, 6), seed=1,
+                                  directed_capacities=True),
+        "cylinder": randomize_weights(cylinder(4, 8), seed=3,
+                                      directed_capacities=True),
+    }
+    for name, g in families.items():
+        s, t = 0, g.n - 1
+        ref = flow_value_networkx(g, s, t, directed=True)
+        led = RoundLedger()
+        solver = PlanarMaxFlow(g, directed=True,
+                               leaf_size=max(12, g.diameter()),
+                               ledger=led)
+        t0 = time.perf_counter()
+        res = solver.solve(s, t)
+        solve_s = time.perf_counter() - t0
+        ok &= res.value == ref
+        d = g.diameter()
+        rows[name] = {
+            "n": g.n, "D": d, "value": res.value, "solve_s": solve_s,
+            "congest_rounds": led.total(),
+            "rounds_per_D2": round(led.total() / d ** 2, 2),
+            "naive_rounds": naive_maxflow_rounds(g),
+        }
+        print(f"{name}: value={res.value} ({solve_s * 1e3:.1f}ms, "
+              f"{led.total()} rounds, {rows[name]['rounds_per_D2']}/D^2)"
+              + ("" if res.value == ref else "  FAIL"))
+
+    print(f"bench_maxflow: {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "maxflow", rows, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

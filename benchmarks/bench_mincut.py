@@ -1,10 +1,22 @@
 """E6 (Theorem 6.1): exact min st-cut — value equals max-flow, bisection
-and marked edges verified, Õ(D²) rounds."""
+and marked edges verified, Õ(D²) rounds.
+
+Script mode re-runs the families at smoke scale and emits a
+``BENCH_mincut.json`` report for ``scripts/bench_history.py``::
+
+    PYTHONPATH=src python benchmarks/bench_mincut.py \\
+        [--json BENCH_mincut.json]
+"""
+
+import argparse
+import time
 
 import pytest
 
+from _json_out import add_json_arg, emit_json
 from repro.congest import RoundLedger
 from repro.core import flow_value_networkx, min_st_cut, verify_st_cut
+from repro.planar.generators import cylinder, grid, randomize_weights
 
 
 @pytest.mark.parametrize("name", ["grid-small", "cylinder", "delaunay"])
@@ -28,3 +40,48 @@ def test_min_st_cut(benchmark, instances, name):
         "congest_rounds": led.total(),
         "rounds_per_D2": round(led.total() / d ** 2, 2),
     })
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="E6: exact min st-cut — value equals max-flow, "
+                    "marked edges verified")
+    add_json_arg(ap)
+    args = ap.parse_args(argv)
+    ok = True
+    rows = {}
+
+    families = {
+        "grid": randomize_weights(grid(5, 6), seed=1,
+                                  directed_capacities=True),
+        "cylinder": randomize_weights(cylinder(4, 8), seed=3,
+                                      directed_capacities=True),
+    }
+    for name, g in families.items():
+        s, t = 0, g.n - 1
+        ref = flow_value_networkx(g, s, t, directed=True)
+        led = RoundLedger()
+        t0 = time.perf_counter()
+        res = min_st_cut(g, s, t, directed=True,
+                         leaf_size=max(12, g.diameter()), ledger=led)
+        cut_s = time.perf_counter() - t0
+        valid = verify_st_cut(g, s, t, res.cut_edge_ids, directed=True)
+        ok &= res.value == ref and valid
+        d = g.diameter()
+        rows[name] = {
+            "n": g.n, "D": d, "cut_value": res.value, "cut_s": cut_s,
+            "cut_edges": len(res.cut_edge_ids),
+            "congest_rounds": led.total(),
+            "rounds_per_D2": round(led.total() / d ** 2, 2),
+        }
+        print(f"{name}: cut={res.value} ({cut_s * 1e3:.1f}ms, "
+              f"{len(res.cut_edge_ids)} edges, {led.total()} rounds)"
+              + ("" if res.value == ref and valid else "  FAIL"))
+
+    print(f"bench_mincut: {'PASS' if ok else 'FAIL'}")
+    emit_json(args.json, "mincut", rows, ok)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

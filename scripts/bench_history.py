@@ -1,0 +1,265 @@
+#!/usr/bin/env python
+"""Benchmark regression tracker over the ``BENCH_*.json`` artifacts
+(DESIGN.md §15).
+
+Every ``benchmarks/bench_*.py`` script emits a self-describing JSON
+report via ``--json`` (see ``benchmarks/_json_out.py``).  This script
+turns that trajectory into a gate:
+
+    # refresh the committed baseline from a set of reports
+    python scripts/bench_history.py update BENCH_*.json \\
+        --baseline benchmarks/baseline.json
+
+    # compare fresh reports against the baseline; exit 1 on any
+    # timing metric slower than --max-slowdown x (or any ok=false)
+    python scripts/bench_history.py compare BENCH_*.json \\
+        --baseline benchmarks/baseline.json --max-slowdown 3.0
+
+    # prove the detector works: synthesize a report --slowdown x
+    # slower than the baseline and assert compare flags it
+    python scripts/bench_history.py self-test \\
+        --baseline benchmarks/baseline.json --slowdown 2.0
+
+Timing metrics are recognized by key: a numeric leaf whose dotted path
+ends in ``_s``/``_seconds``/``_ms``/``_us`` (or whose last segment
+contains ``seconds``) is lower-is-better.  Counters, speedup factors
+and throughputs are carried in the baseline for context but never
+gated — a *faster* run must not fail CI.  Baseline entries below
+``--min-seconds`` are skipped when gating (too close to timer noise to
+call a regression), which keeps the smoke-scale CI comparison
+meaningful; the ``self-test`` subcommand is the deterministic check
+that the machinery fires, independent of runner speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import sys
+import time
+
+_TIMING_SUFFIXES = ("_s", "_seconds", "_ms", "_us")
+
+
+def is_timing_key(path):
+    """Lower-is-better detection on the dotted metric path."""
+    leaf = path.rsplit(".", 1)[-1]
+    return (leaf.endswith(_TIMING_SUFFIXES)
+            or "seconds" in leaf)
+
+
+def flatten(rows, prefix=""):
+    """``{"a": {"b": 1.5}} -> {"a.b": 1.5}`` — numeric leaves only."""
+    out = {}
+    if isinstance(rows, dict):
+        items = rows.items()
+    elif isinstance(rows, list):
+        items = ((str(i), v) for i, v in enumerate(rows))
+    else:
+        return out
+    for key, value in items:
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[path] = float(value)
+        elif isinstance(value, (dict, list)):
+            out.update(flatten(value, path))
+    return out
+
+
+def load_reports(paths):
+    """Read ``BENCH_*.json`` reports; returns ``{bench: report}``.
+    Globs are expanded (the CI step passes the literal pattern on
+    shells that do not)."""
+    reports = {}
+    for pattern in paths:
+        expanded = sorted(glob.glob(pattern)) or [pattern]
+        for path in expanded:
+            with open(path) as fh:
+                report = json.load(fh)
+            bench = report.get("bench")
+            if not bench:
+                raise SystemExit(f"{path}: not a bench report "
+                                 f"(missing 'bench' key)")
+            reports[bench] = report
+    return reports
+
+
+def compare_reports(baseline, reports, max_slowdown, min_seconds):
+    """Pure comparison core (what ``self-test`` drives in-memory).
+
+    Returns ``(failures, rows)``: ``failures`` is a list of human
+    messages (empty = gate passes), ``rows`` a per-metric table of
+    ``(bench, metric, old, new, factor, flagged)``."""
+    failures = []
+    rows = []
+    benches = baseline.get("benches", {})
+    for bench, report in sorted(reports.items()):
+        if not report.get("ok", False):
+            failures.append(f"{bench}: report says ok=false")
+        base = benches.get(bench)
+        if base is None:
+            continue  # new bench: nothing to regress against
+        old_flat = flatten(base.get("rows", {}))
+        new_flat = flatten(report.get("rows", {}))
+        for path in sorted(old_flat):
+            if not is_timing_key(path) or path not in new_flat:
+                continue
+            old, new = old_flat[path], new_flat[path]
+            if old < min_seconds or old <= 0:
+                continue
+            factor = new / old
+            flagged = factor > max_slowdown
+            rows.append((bench, path, old, new, factor, flagged))
+            if flagged:
+                failures.append(
+                    f"{bench}: {path} regressed {factor:.2f}x "
+                    f"({old:.6f}s -> {new:.6f}s, budget "
+                    f"{max_slowdown:.2f}x)")
+    return failures, rows
+
+
+def _print_table(rows, verbose=False):
+    shown = [r for r in rows if verbose or r[5]]
+    if not shown:
+        print(f"compared {len(rows)} timing metrics: "
+              f"all within budget")
+        return
+    width = max(len(f"{b}:{p}") for b, p, *_ in shown)
+    for bench, path, old, new, factor, flagged in shown:
+        mark = "REGRESSION" if flagged else "ok"
+        print(f"{bench + ':' + path:<{width}}  "
+              f"{old * 1e3:>10.3f}ms -> {new * 1e3:>10.3f}ms  "
+              f"{factor:>7.2f}x  {mark}")
+
+
+def cmd_update(args):
+    reports = load_reports(args.reports)
+    if not reports:
+        raise SystemExit("no reports to baseline")
+    baseline = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "note": "committed benchmark baseline for "
+                "scripts/bench_history.py (smoke-scale CI flags); "
+                "refresh with the update subcommand",
+        "benches": {bench: {"ok": report.get("ok", False),
+                            "argv": report.get("argv", []),
+                            "rows": report.get("rows", {})}
+                    for bench, report in sorted(reports.items())},
+    }
+    with open(args.baseline, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"baseline written: {args.baseline} "
+          f"({len(reports)} benches)")
+    return 0
+
+
+def cmd_compare(args):
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    reports = load_reports(args.reports)
+    if not reports:
+        raise SystemExit("no reports to compare")
+    failures, rows = compare_reports(baseline, reports,
+                                     args.max_slowdown,
+                                     args.min_seconds)
+    _print_table(rows, verbose=args.verbose)
+    for message in failures:
+        print(f"FAIL: {message}")
+    if failures:
+        return 1
+    print(f"bench history gate: PASS ({len(reports)} reports vs "
+          f"baseline of {len(baseline.get('benches', {}))})")
+    return 0
+
+
+def cmd_self_test(args):
+    """Inject a synthetic ``--slowdown`` x regression into a copy of
+    the baseline and assert the comparator flags it — the
+    deterministic CI proof that the gate can actually fail."""
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    def slow(value, path=""):
+        if isinstance(value, bool) or not isinstance(
+                value, (int, float)):
+            if isinstance(value, dict):
+                return {k: slow(v, f"{path}.{k}") for k, v in
+                        value.items()}
+            if isinstance(value, list):
+                return [slow(v, path) for v in value]
+            return value
+        return value * args.slowdown if is_timing_key(path) else value
+
+    injected = {}
+    eligible = 0
+    for bench, entry in baseline.get("benches", {}).items():
+        flat = flatten(entry.get("rows", {}))
+        if any(is_timing_key(p) and v >= args.min_seconds
+               for p, v in flat.items()):
+            eligible += 1
+        injected[bench] = {"bench": bench, "ok": True,
+                           "rows": slow(entry.get("rows", {}))}
+    if not eligible:
+        print("self-test: FAIL — baseline has no gateable timing "
+              "metric (every value below --min-seconds?)")
+        return 1
+    failures, _ = compare_reports(
+        baseline, injected,
+        max_slowdown=max(1.0, args.slowdown * 0.75),
+        min_seconds=args.min_seconds)
+    if failures:
+        print(f"self-test: PASS — injected {args.slowdown:.1f}x "
+              f"slowdown flagged {len(failures)} regression(s) "
+              f"across {eligible} gateable bench(es)")
+        return 0
+    print(f"self-test: FAIL — injected {args.slowdown:.1f}x slowdown "
+          f"was NOT flagged")
+    return 1
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="python scripts/bench_history.py",
+        description="track BENCH_*.json benchmark reports against a "
+                    "committed baseline and gate on slowdowns")
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("update", help="write the baseline from "
+                                      "reports")
+    p.add_argument("reports", nargs="+", metavar="BENCH_*.json")
+    p.add_argument("--baseline", default="benchmarks/baseline.json")
+    p.set_defaults(fn=cmd_update)
+
+    p = sub.add_parser("compare", help="gate reports against the "
+                                       "baseline")
+    p.add_argument("reports", nargs="+", metavar="BENCH_*.json")
+    p.add_argument("--baseline", default="benchmarks/baseline.json")
+    p.add_argument("--max-slowdown", type=float, default=3.0,
+                   help="fail when new/old exceeds this factor "
+                        "(default 3.0)")
+    p.add_argument("--min-seconds", type=float, default=1e-3,
+                   help="skip baseline timings below this (timer "
+                        "noise; default 1ms)")
+    p.add_argument("--verbose", action="store_true",
+                   help="print every compared metric, not only "
+                        "regressions")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("self-test",
+                       help="assert compare flags a synthetic "
+                            "slowdown injected into the baseline")
+    p.add_argument("--baseline", default="benchmarks/baseline.json")
+    p.add_argument("--slowdown", type=float, default=2.0)
+    p.add_argument("--min-seconds", type=float, default=1e-3)
+    p.set_defaults(fn=cmd_self_test)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

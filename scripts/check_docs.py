@@ -36,6 +36,7 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.baselines",
     "repro.obs",
+    "repro.obs.health",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#]+)(?:#[^)]*)?\)")

@@ -43,7 +43,7 @@ from repro.engine import CompiledPlanarGraph, FlowWorkspace, compile_graph
 from repro.labeling import DualDistanceLabeling, PrimalDistanceLabeling
 from repro.planar import DualGraph, PlanarGraph
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "RoundLedger",

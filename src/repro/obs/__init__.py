@@ -40,12 +40,23 @@ from repro.obs.export import (
     render_prometheus,
     summarize_spans,
 )
+from repro.obs.health import (
+    DEFAULT_POLICY,
+    FlightRecorder,
+    SloPolicy,
+    discover_kinds,
+    evaluate_slo,
+    evaluate_slos,
+    render_health_prometheus,
+    worst_status,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    WindowedHistogram,
     snapshot_delta,
 )
 from repro.obs.sink import NdjsonFileSink, RingBufferSink, Sink, read_ndjson
@@ -64,6 +75,7 @@ from repro.obs.trace import (
     ingest,
     new_trace_id,
     observe,
+    observe_windowed,
     record_span,
     registry,
     remove_sink,
@@ -95,13 +107,24 @@ __all__ = [
     "registry",
     "inc",
     "observe",
+    "observe_windowed",
     "set_gauge",
     "Counter",
     "Gauge",
     "Histogram",
+    "WindowedHistogram",
     "MetricsRegistry",
     "snapshot_delta",
     "DEFAULT_BUCKETS",
+    # health
+    "SloPolicy",
+    "DEFAULT_POLICY",
+    "evaluate_slo",
+    "evaluate_slos",
+    "discover_kinds",
+    "worst_status",
+    "FlightRecorder",
+    "render_health_prometheus",
     # sinks + export
     "Sink",
     "RingBufferSink",

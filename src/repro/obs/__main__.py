@@ -1,15 +1,20 @@
-"""CLI for the observability layer (DESIGN.md §13)::
+"""CLI for the observability layer (DESIGN.md §13/§15)::
 
     python -m repro.obs tail obs.ndjson [--limit 20] [--trace ID]
     python -m repro.obs summarize obs.ndjson
     python -m repro.obs tree obs.ndjson [--trace ID]
     python -m repro.obs scrape HOST:PORT [--format prometheus]
+    python -m repro.obs health HOST:PORT [--format prometheus]
+    python -m repro.obs exemplars HOST:PORT [--limit K] [--trees]
 
 ``tail`` pretty-prints the last spans of an
 :class:`~repro.obs.sink.NdjsonFileSink` log, ``summarize`` rolls the
 log up per site, ``tree`` reassembles one trace's stitched span tree,
 and ``scrape`` fetches the live ``metrics`` wire verb from a running
 ``repro.server`` and prints the snapshot (or Prometheus text).
+``health`` fetches the liveness/SLO report (exit code 0 on ``ok``, 1
+on ``warn``, 2 on ``breach`` — scriptable as a probe) and
+``exemplars`` dumps the server flight recorder's retained span trees.
 """
 
 from __future__ import annotations
@@ -92,6 +97,45 @@ def _cmd_scrape(args):
     return 0
 
 
+def _cmd_health(args):
+    from repro.server.client import ServiceClient
+
+    host, _, port = args.address.rpartition(":")
+    with ServiceClient(host or "127.0.0.1", int(port),
+                       timeout=args.timeout) as client:
+        payload = client.health(format=args.format)
+    if args.format == "prometheus":
+        sys.stdout.write(payload)
+        return 0
+    json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return {"ok": 0, "warn": 1, "breach": 2}.get(
+        payload.get("status"), 2)
+
+
+def _cmd_exemplars(args):
+    from repro.obs.export import build_span_tree, format_span_tree
+    from repro.server.client import ServiceClient
+
+    host, _, port = args.address.rpartition(":")
+    with ServiceClient(host or "127.0.0.1", int(port),
+                       timeout=args.timeout) as client:
+        dump = client.exemplars(limit=args.limit)
+    if not args.trees:
+        json.dump(dump, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    for entry in dump.get("exemplars", []):
+        print(f"trace {entry['trace']}  [{entry['reason']}]  "
+              f"{entry['seconds'] * 1e3:.3f} ms  "
+              f"kind={entry.get('kind')}")
+        roots, children = build_span_tree(entry["spans"],
+                                          trace=entry["trace"])
+        for line in format_span_tree(roots, children, indent=1):
+            print(line)
+    return 0
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -123,6 +167,25 @@ def main(argv=None):
                    default="prometheus")
     p.add_argument("--timeout", type=float, default=10.0)
     p.set_defaults(fn=_cmd_scrape)
+
+    p = sub.add_parser("health", help="fetch the health verb from a "
+                                      "running repro.server (exit "
+                                      "0=ok 1=warn 2=breach)")
+    p.add_argument("address", metavar="HOST:PORT")
+    p.add_argument("--format", choices=("report", "prometheus"),
+                   default="report")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(fn=_cmd_health)
+
+    p = sub.add_parser("exemplars", help="dump the server flight "
+                                         "recorder's exemplar traces")
+    p.add_argument("address", metavar="HOST:PORT")
+    p.add_argument("--limit", type=int, default=None)
+    p.add_argument("--trees", action="store_true",
+                   help="render each exemplar as an indented span "
+                        "tree instead of JSON")
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.set_defaults(fn=_cmd_exemplars)
 
     args = ap.parse_args(argv)
     return args.fn(args)

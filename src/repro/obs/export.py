@@ -60,6 +60,28 @@ def render_prometheus(snapshot, prefix="repro_"):
                              f' {cumulative}')
             lines.append(f"{pname}_sum {_prom_num(d['sum'])}")
             lines.append(f"{pname}_count {d['count']}")
+        elif t == "windowed":
+            # aggregate the retained slots into one histogram series
+            # plus a gauge advertising the window length
+            counts = [0] * (len(d["buckets"]) + 1)
+            count, total = 0, 0.0
+            for rec in d["data"].values():
+                for i, c in enumerate(rec["counts"]):
+                    counts[i] += c
+                count += rec["count"]
+                total += rec["sum"]
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            bounds = list(d["buckets"]) + [math.inf]
+            for bound, c in zip(bounds, counts):
+                cumulative += c
+                lines.append(f'{pname}_bucket{{le="{_prom_num(bound)}"}}'
+                             f' {cumulative}')
+            lines.append(f"{pname}_sum {_prom_num(total)}")
+            lines.append(f"{pname}_count {count}")
+            lines.append(f"# TYPE {pname}_window_seconds gauge")
+            lines.append(f"{pname}_window_seconds "
+                         f"{_prom_num(d['slot_seconds'] * d['slots'])}")
         else:
             raise ValueError(f"unknown metric type {t!r} for {name!r}")
     return "\n".join(lines) + ("\n" if lines else "")

@@ -130,6 +130,10 @@ def observe(name, value):
     _registry.observe(name, value)
 
 
+def observe_windowed(name, value, now=None):
+    _registry.observe_windowed(name, value, now)
+
+
 def set_gauge(name, value):
     _registry.set_gauge(name, value)
 
@@ -321,6 +325,7 @@ __all__ = [
     "reset",
     "inc",
     "observe",
+    "observe_windowed",
     "set_gauge",
     "new_trace_id",
     "current_trace",

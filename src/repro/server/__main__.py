@@ -45,10 +45,30 @@ def main(argv=None):
                     help="comma-separated artifact kinds to build "
                          "before forking (from: flow,cut,distance,"
                          "girth; empty string skips)")
+    ap.add_argument("--obs", action="store_true",
+                    help="enable the observability layer before "
+                         "forking (metrics/health/exemplars verbs "
+                         "report live data)")
+    ap.add_argument("--heartbeat-interval", type=float, default=0.25,
+                    help="idle-worker heartbeat period in seconds")
+    ap.add_argument("--stall-after", type=float, default=30.0,
+                    help="heartbeat silence (seconds) before a live "
+                         "worker counts as stalled in the health verb")
+    ap.add_argument("--audit-interval", type=float, default=None,
+                    help="opt-in background labeling audit period in "
+                         "seconds (runs on idle ticks; surfaced via "
+                         "the health verb)")
     args = ap.parse_args(argv)
 
+    if args.obs:
+        from repro import obs
+
+        obs.enable()
     pool = WarmWorkerPool(workers=args.workers,
-                          start_method=args.start_method)
+                          start_method=args.start_method,
+                          heartbeat_interval=args.heartbeat_interval,
+                          stall_after=args.stall_after,
+                          audit_interval=args.audit_interval)
     if args.rows > 0 and args.cols > 0:
         from repro.planar.generators import grid, randomize_weights
 

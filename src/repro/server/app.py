@@ -70,8 +70,20 @@ class QueryServer:
     (the in-process embedding the tests and the example use).
     """
 
-    def __init__(self, pool, host="127.0.0.1", port=0):
+    def __init__(self, pool, host="127.0.0.1", port=0,
+                 flight_recorder=None):
         self.pool = pool
+        # the flight recorder (DESIGN.md §15) is a span sink living in
+        # the server process, where worker deltas are ingested: with
+        # observability on it is created (or adopted) here and
+        # registered so the ``exemplars`` verb has trees to dump
+        self._own_recorder = False
+        if flight_recorder is None and obs.enabled():
+            flight_recorder = obs.FlightRecorder()
+            self._own_recorder = True
+        self.flight_recorder = flight_recorder
+        if flight_recorder is not None:
+            obs.add_sink(flight_recorder)
         self._server = _TCPServer((host, port), _Handler)
         self._server.app = self
         self._thread = None
@@ -97,6 +109,8 @@ class QueryServer:
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+        if self.flight_recorder is not None and self._own_recorder:
+            obs.remove_sink(self.flight_recorder)
 
     def __enter__(self):
         return self
@@ -205,6 +219,31 @@ class QueryServer:
                 raise ProtocolError(f"unknown metrics format {fmt!r}; "
                                     f"expected 'snapshot' or "
                                     f"'prometheus'")
+        elif verb == "health":
+            report = self.pool.health()
+            fmt = frame.get("format", "report")
+            if fmt == "report":
+                out["health"] = report
+            elif fmt == "prometheus":
+                out["prometheus"] = obs.render_health_prometheus(report)
+            else:
+                raise ProtocolError(f"unknown health format {fmt!r}; "
+                                    f"expected 'report' or "
+                                    f"'prometheus'")
+        elif verb == "exemplars":
+            limit = frame.get("limit")
+            if limit is not None and (not isinstance(limit, int)
+                                      or limit < 1):
+                raise ProtocolError("exemplars 'limit' must be a "
+                                    "positive integer")
+            if self.flight_recorder is None:
+                out["exemplars"] = {"recording": False, "exemplars": [],
+                                    "retained": 0, "pending": 0,
+                                    "dropped": 0}
+            else:
+                dump = self.flight_recorder.dump(limit)
+                dump["recording"] = True
+                out["exemplars"] = dump
         elif verb == "graphs":
             out["graphs"] = self.pool.catalog.names()
         elif verb == "ping":

@@ -87,7 +87,8 @@ class ServiceClient:
     #: delta), so a resend after a reset is a value-identical no-op
     _RETRY_VERBS = frozenset(
         {"query", "batch", "stats", "metrics", "graphs", "ping",
-         "set_weights", "mutate_weights", "audit"})
+         "set_weights", "mutate_weights", "audit", "health",
+         "exemplars"})
 
     def _call(self, verb, **payload):
         if not obs.enabled():
@@ -291,6 +292,29 @@ class ServiceClient:
         :meth:`~repro.server.pool.WarmWorkerPool.stats`)."""
         return self._call("stats",
                           worker_catalogs=worker_catalogs)["stats"]
+
+    def health(self, format="report"):
+        """The server's liveness/SLO report (see
+        :meth:`~repro.server.pool.WarmWorkerPool.health`): readiness
+        state machine, per-worker heartbeat ages, rolling-window SLO
+        verdicts and the last background audit.
+
+        ``format="report"`` returns the JSON-safe report dict;
+        ``format="prometheus"`` returns the gauge rendering as one
+        string (what ``python -m repro.obs health`` prints)."""
+        response = self._call("health", format=format)
+        if format == "prometheus":
+            return response["prometheus"]
+        return response["health"]
+
+    def exemplars(self, limit=None):
+        """The server flight recorder's retained exemplar span trees —
+        the slowest-K per window plus every errored query (see
+        :class:`~repro.obs.FlightRecorder`).  Returns the recorder's
+        dump dict; ``recording`` is False when the server runs without
+        observability."""
+        payload = {} if limit is None else {"limit": limit}
+        return self._call("exemplars", **payload)["exemplars"]
 
     def metrics(self, format="snapshot"):
         """The server's aggregated :mod:`repro.obs` metrics registry

@@ -57,7 +57,7 @@ _PREWARM_KINDS = ("flow", "cut", "distance", "girth")
 
 
 def _worker_main(worker_id, catalog, snapshot, command_q, result_q,
-                 obs_on=False):
+                 obs_on=False, hb_interval=0.0):
     """Worker process entry point (top-level for spawn picklability).
 
     Exactly one of ``catalog`` (fork: the master catalog, inherited
@@ -71,7 +71,15 @@ def _worker_main(worker_id, catalog, snapshot, command_q, result_q,
     collector thread :func:`~repro.obs.ingest`\\ s them — so one
     query's spans stitch into the submitting trace and the master
     registry aggregates every worker.
+
+    With ``hb_interval > 0`` an *idle* worker emits a heartbeat tuple
+    (``job_id=None``) on the result queue every interval — the
+    watchdog's liveness signal.  Every real result doubles as a
+    heartbeat, so only a worker that is neither serving nor idling
+    (wedged, killed, or stopped) goes silent.
     """
+    import queue as _queue
+
     from repro.service.queries import execute_query
 
     if obs_on:
@@ -80,7 +88,15 @@ def _worker_main(worker_id, catalog, snapshot, command_q, result_q,
     if catalog is None:
         catalog = snapshot.restore()
     while True:
-        msg = command_q.get()
+        if hb_interval > 0:
+            try:
+                msg = command_q.get(timeout=hb_interval)
+            except _queue.Empty:
+                result_q.put((worker_id, None, True, "heartbeat",
+                              obs.ship_delta()))
+                continue
+        else:
+            msg = command_q.get()
         verb = msg[0]
         if verb == "stop":
             break
@@ -181,7 +197,9 @@ class WarmWorkerPool:
     """
 
     def __init__(self, workers=None, catalog=None, planner=None,
-                 start_method=None, window=2):
+                 start_method=None, window=2, slos=None,
+                 heartbeat_interval=0.25, stall_after=30.0,
+                 audit_interval=None, audit_backend="engine"):
         from repro.service.catalog import GraphCatalog
 
         if workers is None:
@@ -190,11 +208,22 @@ class WarmWorkerPool:
             raise ServiceError("workers must be >= 0")
         if window < 1:
             raise ServiceError("window must be >= 1")
+        if heartbeat_interval <= 0 or stall_after <= 0:
+            raise ServiceError("heartbeat_interval and stall_after "
+                               "must be positive")
+        if audit_interval is not None and audit_interval <= 0:
+            raise ServiceError("audit_interval must be positive "
+                               "(or None to disable)")
         self.workers = workers
         self.window = window
         self.start_method = start_method
         self.catalog = catalog if catalog is not None \
             else GraphCatalog(planner=planner)
+        #: declarative SLOs the ``health`` verb evaluates (iterable of
+        #: :class:`repro.obs.SloPolicy`; None -> the default wildcard)
+        self.slos = tuple(slos) if slos else None
+        self.heartbeat_interval = heartbeat_interval
+        self.stall_after = stall_after
 
         self._lock = threading.Lock()
         self._started = False
@@ -212,6 +241,17 @@ class WarmWorkerPool:
         self._completed = {}               # worker_id -> count
         self._dead = set()
         self._by_kind = OrderedDict()      # query-type latency rollup
+        # watchdog / health state
+        self._started_at = None            # monotonic, set by start()
+        self._last_seen = {}               # worker_id -> monotonic
+        self._stalled = set()              # watchdog's last verdict
+        self._watchdog = None
+        self._watchdog_stop = threading.Event()
+        # background audit scheduler (opt-in)
+        self._audit_interval = audit_interval
+        self._audit_backend = audit_backend
+        self._audit_at = None              # monotonic of last run
+        self._last_audit = None            # last run's report dict
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -275,7 +315,10 @@ class WarmWorkerPool:
         if self._closed:
             raise ServiceError("pool is closed")
         self._started = True
+        self._started_at = time.monotonic()
         if self.workers == 0:
+            if self._audit_interval is not None:
+                self._start_watchdog()
             return self
         method = self.start_method
         if method is None:
@@ -286,22 +329,33 @@ class WarmWorkerPool:
         self._result_q = ctx.Queue()
         snapshot = None if method == "fork" else self.catalog.snapshot()
         for wid in range(self.workers):
-            cq = ctx.SimpleQueue()
+            # a full Queue (not SimpleQueue): workers block on
+            # ``get(timeout=heartbeat_interval)`` to emit heartbeats
+            cq = ctx.Queue()
             proc = ctx.Process(
                 target=_worker_main,
                 args=(wid, self.catalog if method == "fork" else None,
-                      snapshot, cq, self._result_q, obs.enabled()),
+                      snapshot, cq, self._result_q, obs.enabled(),
+                      self.heartbeat_interval),
                 daemon=True, name=f"repro-server-worker-{wid}")
             proc.start()
             self._procs[wid] = proc
             self._command_qs[wid] = cq
             self._inflight[wid] = 0
             self._completed[wid] = 0
+            self._last_seen[wid] = time.monotonic()
         self._collector = threading.Thread(target=self._collect,
                                            daemon=True,
                                            name="repro-server-collector")
         self._collector.start()
+        self._start_watchdog()
         return self
+
+    def _start_watchdog(self):
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, daemon=True,
+            name="repro-server-watchdog")
+        self._watchdog.start()
 
     def close(self):
         """Stop the workers and fail any unresolved futures."""
@@ -309,6 +363,9 @@ class WarmWorkerPool:
             if self._closed:
                 return
             self._closed = True
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5)
         for wid, cq in self._command_qs.items():
             if wid not in self._dead:
                 try:
@@ -510,19 +567,23 @@ class WarmWorkerPool:
         a worker busy with a long cold query past ``timeout`` reports
         ``{"busy": True}`` instead of blocking the caller — stats stay
         available exactly when the pool is loaded."""
+        now = time.monotonic()
         with self._lock:
             occupancy = [{"worker": wid,
                           "alive": wid not in self._dead,
                           "pid": self._procs[wid].pid,
                           "inflight": self._inflight.get(wid, 0),
-                          "completed": self._completed.get(wid, 0)}
+                          "completed": self._completed.get(wid, 0),
+                          "heartbeat_age_s":
+                              now - self._last_seen.get(wid, now)}
                          for wid in self._procs] or \
                         [{"worker": "in-process", "alive": True,
                           "pid": os.getpid(),
                           "inflight": 0,
                           "completed": sum(
                               row["count"]
-                              for row in self._by_kind.values())}]
+                              for row in self._by_kind.values()),
+                          "heartbeat_age_s": 0.0}]
             by_kind = {kind: dict(row)
                        for kind, row in self._by_kind.items()}
             pending = len(self._pending)
@@ -530,6 +591,8 @@ class WarmWorkerPool:
             #                                serves against this catalog
         stats = {"workers": self.workers,
                  "start_method": getattr(self, "_method", "in-process"),
+                 "uptime_s": (now - self._started_at
+                              if self._started_at is not None else 0.0),
                  "pending": pending,
                  "occupancy": occupancy,
                  "by_kind": by_kind,
@@ -584,6 +647,108 @@ class WarmWorkerPool:
         that is already started (workers forked while it was off, or
         vice versa)."""
         self._broadcast(("obs", obs.enabled()))
+
+    # ------------------------------------------------------------------
+    # health (DESIGN.md §15)
+    # ------------------------------------------------------------------
+    def enable_background_audit(self, interval, backend=None):
+        """Opt into periodic :meth:`~repro.service.catalog.GraphCatalog.
+        audit_labeling` of every registered graph on the watchdog's
+        idle ticks (no pending, nothing in flight).  The last report is
+        surfaced through :meth:`health`; an audit failure flips the
+        health status to ``breach``.  ``interval`` is seconds between
+        runs; may also be set at construction via ``audit_interval``."""
+        if interval is None or interval <= 0:
+            raise ServiceError("audit interval must be positive")
+        self._audit_interval = interval
+        if backend is not None:
+            self._audit_backend = backend
+        if self._started and not self._closed \
+                and self._watchdog is None:
+            self._start_watchdog()
+
+    def health(self, now=None):
+        """Liveness/readiness report for the ``health`` wire verb.
+
+        The state machine: ``starting`` (not yet started) → ``ready``
+        (serving, every worker live) → ``degraded`` (a worker died or
+        went silent past ``stall_after`` — the pool still serves on
+        survivors) → ``unready`` (no live worker) → ``closed``.
+        ``status`` folds that with the SLO evaluation and the last
+        background audit: anything short of fully live is a
+        ``breach``; a ready pool reports the worst of its SLO verdicts
+        (``ok``/``warn``/``breach``) and breaches on a failed audit.
+        """
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            started, closed = self._started, self._closed
+            pending = len(self._pending)
+            inflight = dict(self._inflight)
+            completed = dict(self._completed)
+            dead = set(self._dead)
+            last_seen = dict(self._last_seen)
+            by_kind_total = sum(row["count"]
+                                for row in self._by_kind.values())
+        if self.workers == 0:
+            live = started and not closed
+            detail = [{"worker": "in-process", "alive": live,
+                       "stalled": False, "heartbeat_age_s": 0.0,
+                       "inflight": 0, "completed": by_kind_total}]
+            alive, stalled, total = (1 if live else 0), set(), 1
+        else:
+            detail = []
+            stalled = set()
+            for wid, proc in self._procs.items():
+                is_dead = wid in dead
+                age = now - last_seen.get(wid, now)
+                is_stalled = (not is_dead
+                              and age > self.stall_after)
+                if is_stalled:
+                    stalled.add(wid)
+                detail.append({
+                    "worker": wid, "alive": not is_dead,
+                    "stalled": is_stalled,
+                    "heartbeat_age_s": age,
+                    "inflight": inflight.get(wid, 0),
+                    "completed": completed.get(wid, 0)})
+            total = len(self._procs)
+            alive = total - len(dead)
+        if closed:
+            state = "closed"
+        elif not started:
+            state = "starting"
+        elif self.workers and total and alive == 0:
+            state = "unready"
+        elif dead or stalled:
+            state = "degraded"
+        else:
+            state = "ready"
+        if obs.enabled():
+            slo_report = obs.evaluate_slos(self.slos)
+        else:
+            slo_report = {"status": "ok", "slos": []}
+        audit = self._last_audit
+        audit_ok = audit is None or audit.get("ok", False)
+        if state == "ready":
+            status = obs.worst_status(
+                [slo_report["status"],
+                 "ok" if audit_ok else "breach"])
+        elif state == "starting":
+            status = "warn"
+        else:
+            status = "breach"
+        return {
+            "state": state, "status": status,
+            "uptime_s": (now - self._started_at
+                         if self._started_at is not None else 0.0),
+            "workers": {"total": total, "alive": alive,
+                        "stalled": len(stalled), "detail": detail},
+            "queue_depth": pending,
+            "inflight": sum(inflight.values()),
+            "slos": slo_report,
+            "audit": audit,
+        }
 
     # ------------------------------------------------------------------
     # internals
@@ -660,6 +825,10 @@ class WarmWorkerPool:
             wid, job_id, ok, payload, obs_payload = item
             if obs_payload:
                 obs.ingest(obs_payload)
+            # every message — heartbeat or result — proves liveness
+            self._last_seen[wid] = time.monotonic()
+            if job_id is None:
+                continue  # pure heartbeat, nothing to resolve
             with self._lock:
                 fut = self._futures.pop(job_id, None)
                 kind = self._job_kind.pop(job_id, "query")
@@ -714,6 +883,83 @@ class WarmWorkerPool:
                 fut.set_exception(ServiceError(
                     f"worker {wid} died mid-query" if wid is not None
                     else "all pool workers died"))
+
+    # ------------------------------------------------------------------
+    # watchdog
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self):
+        """Drive the liveness machinery on a clock: reap dead workers,
+        refresh the stalled set and the queue-depth/in-flight gauges,
+        and fire the background audit on idle ticks."""
+        interval = min(self.heartbeat_interval, 0.5)
+        while not self._watchdog_stop.wait(interval):
+            try:
+                self._watchdog_tick()
+            except Exception:
+                # the watchdog must never die over a transient race
+                # (e.g. audit against a graph being re-registered)
+                continue
+
+    def _watchdog_tick(self, now=None):
+        if now is None:
+            now = time.monotonic()
+        if self.workers:
+            self._reap_dead()
+            stalled = set()
+            for wid in self._procs:
+                if wid in self._dead:
+                    continue
+                if now - self._last_seen.get(wid, now) \
+                        > self.stall_after:
+                    stalled.add(wid)
+            self._stalled = stalled
+        if obs.enabled():
+            with self._lock:
+                pending = len(self._pending)
+                inflight = sum(self._inflight.values())
+            obs.set_gauge("pool.queue_depth", pending)
+            obs.set_gauge("pool.inflight", inflight)
+            obs.set_gauge("pool.workers_alive",
+                          (len(self._procs) - len(self._dead))
+                          if self.workers else 1)
+            obs.set_gauge("pool.workers_stalled",
+                          len(self._stalled))
+        self._maybe_audit(now)
+
+    def _maybe_audit(self, now):
+        """Background audit scheduler: on an idle tick (nothing pending
+        or in flight) past the configured interval, bit-parity audit
+        every registered graph's labeling on the master catalog and
+        record the report for :meth:`health`."""
+        if self._audit_interval is None or self._closed:
+            return
+        if self._audit_at is not None \
+                and now - self._audit_at < self._audit_interval:
+            return
+        with self._lock:
+            busy = bool(self._pending) \
+                or any(self._inflight.values())
+            names = self.catalog.names()
+        if busy:
+            return
+        self._audit_at = now  # set first: a failing audit must not
+        #                       re-fire every tick
+        report = {"at": time.time(), "ok": True, "graphs": {}}
+        for name in names:
+            try:
+                with self._lock:
+                    self.catalog.audit_labeling(
+                        name, backend=self._audit_backend)
+                report["graphs"][name] = "ok"
+            except Exception as exc:
+                report["ok"] = False
+                report["graphs"][name] = (f"{type(exc).__name__}: "
+                                          f"{exc}")
+        if obs.enabled():
+            obs.inc("pool.background_audits")
+            if not report["ok"]:
+                obs.inc("pool.background_audit_failures")
+        self._last_audit = report
 
 
 __all__ = ["WarmWorkerPool"]

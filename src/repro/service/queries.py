@@ -186,23 +186,38 @@ def execute_query(catalog, query, planner=None):
     ``query.execute`` span — the per-query root when no trace context
     is active (this is where a trace id is minted), a child span when
     one arrived over the wire or a pool command queue — and feeds the
-    ``service.result.hit``/``miss`` counters plus a per-kind latency
-    histogram.
+    ``service.result.hit``/``miss`` counters, a per-kind latency
+    histogram, and the rolling ``health.query_seconds.<kind>`` /
+    ``health.error_seconds.<kind>`` windows that
+    :mod:`repro.obs.health` evaluates SLOs against.
     """
-    entry = catalog.get(query.graph)
-    if planner is None:
-        planner = catalog.planner
-    backend = planner.plan(query, entry.graph)
     if not obs.enabled():
+        entry = catalog.get(query.graph)
+        if planner is None:
+            planner = catalog.planner
+        backend = planner.plan(query, entry.graph)
         return _serve(catalog, entry, query, backend)
     kind = type(query).__name__
-    with obs.span("query.execute", kind=kind, graph=query.graph,
-                  backend=backend) as sp:
-        r = _serve(catalog, entry, query, backend)
+    with obs.span("query.execute", kind=kind,
+                  graph=query.graph) as sp:
+        t0 = time.perf_counter()
+        try:
+            entry = catalog.get(query.graph)
+            if planner is None:
+                planner = catalog.planner
+            backend = planner.plan(query, entry.graph)
+            sp.tag(backend=backend)
+            r = _serve(catalog, entry, query, backend)
+        except Exception:
+            obs.inc(f"health.errors.{kind}")
+            obs.observe_windowed(f"health.error_seconds.{kind}",
+                                 time.perf_counter() - t0)
+            raise
         sp.tag(warm=r.warm)
         obs.inc("service.result.hit" if r.warm
                 else "service.result.miss")
         obs.observe(f"service.query_seconds.{kind}", r.seconds)
+        obs.observe_windowed(f"health.query_seconds.{kind}", r.seconds)
         return r
 
 
